@@ -1,0 +1,24 @@
+"""Shared configuration for the figure-regeneration benches.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index): the pytest-benchmark timing measures *our*
+harness, while the reproduced series (modeled GPU seconds, error norms,
+speedups) are attached to ``benchmark.extra_info`` and printed so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
+single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a rendered table to the real terminal (bypassing capture)."""
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+    return _print

@@ -1,0 +1,71 @@
+"""Extension: the Section 11 projection, run on a simulated cluster.
+
+"We expect the performance benefits of random sampling to increase on
+a computer with higher communication cost, like a distributed-memory
+computer."  Two sweeps quantify this on the two-tier (PCIe +
+interconnect) runtime:
+
+1. **Strong scaling** of random sampling over 1-16 three-GPU nodes at
+   m = 600k: the algorithm keeps scaling because its only interconnect
+   traffic is a handful of short-wide allreduces.
+2. **Latency sweep** at 8 nodes: as the per-message latency climbs
+   from InfiniBand (~3 us) to WAN-ish (~1 ms), QP3's per-pivot global
+   argmax makes its time grow much faster than sampling's, so the
+   speedup *increases* with communication cost — and the effect
+   strengthens with the rank (k allreduces vs O(1)).
+"""
+
+from repro.bench.reporting import format_table
+
+M, N = 600_000, 2_500
+LATENCIES = (3e-6, 30e-6, 300e-6, 3e-3)
+
+
+from repro.bench.ablations import (cluster_latency_ablation,
+                                   cluster_scaling_ablation)
+
+
+def run_scaling():
+    return cluster_scaling_ablation((1, 2, 4, 8, 16), m=M, n=N)
+
+
+def run_latency_sweep():
+    return cluster_latency_ablation(LATENCIES, ks=(54, 502), nodes=8,
+                                    m=M, n=N)
+
+
+def test_cluster_strong_scaling(benchmark, print_table):
+    times = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    seq = [times[n] for n in (1, 2, 4, 8, 16)]
+    assert all(a > b for a, b in zip(seq, seq[1:]))
+    assert seq[0] / seq[3] > 5         # >= 62 % efficiency at 8 nodes
+    benchmark.extra_info["times"] = {str(k): v for k, v in times.items()}
+    print_table(format_table(
+        ["nodes", "sampling (s)", "speedup vs 1 node"],
+        [[n, times[n], times[1] / times[n]] for n in (1, 2, 4, 8, 16)],
+        title=f"Cluster strong scaling, m = {M} (3 GPUs/node)"))
+
+
+def test_cluster_latency_sweep(benchmark, print_table):
+    rows = benchmark.pedantic(run_latency_sweep, rounds=1, iterations=1)
+
+    for k in (54, 502):
+        sp = [r["speedup"] for r in rows if r["k"] == k]
+        # The paper's claim: speedup grows monotonically with the
+        # communication cost.
+        assert all(a <= b * 1.001 for a, b in zip(sp, sp[1:])), k
+    # ... and the effect is stronger at larger rank (more pivots).
+    growth_small = ([r["speedup"] for r in rows if r["k"] == 54][-1]
+                    / [r["speedup"] for r in rows if r["k"] == 54][0])
+    growth_big = ([r["speedup"] for r in rows if r["k"] == 502][-1]
+                  / [r["speedup"] for r in rows if r["k"] == 502][0])
+    assert growth_big > growth_small > 1.0
+
+    benchmark.extra_info["rows"] = [
+        {kk: float(v) for kk, v in r.items()} for r in rows]
+    print_table(format_table(
+        ["latency (s)", "k", "sampling (s)", "QP3 (s)", "speedup"],
+        [[r["latency"], r["k"], r["sampling"], r["qp3"], r["speedup"]]
+         for r in rows],
+        title="SS11 projection: speedup vs interconnect latency "
+              "(8 nodes)"))

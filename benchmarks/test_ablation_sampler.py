@@ -1,0 +1,39 @@
+"""Ablation: Gaussian vs FFT sampling, end to end (Sections 4/8).
+
+The paper focuses on pruned Gaussian sampling ("more theoretical work
+has been established") but measures FFT sampling as the faster option
+for large subspaces (Figure 8).  This ablation runs the full algorithm
+under both samplers and confirms:
+
+- equal error order (Section 7's claim, Figure 6 footnote), and
+- the modeled-time crossover: Gaussian wins at l = 64, FFT at l = 320.
+"""
+
+from repro.bench.reporting import format_table
+
+
+from repro.bench.ablations import sampler_ablation
+
+run_ablation = sampler_ablation
+
+
+def test_ablation_sampler(benchmark, print_table):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    by = {r["sampler"]: r for r in rows}
+
+    # Same error order (Fig 6 footnote).
+    assert by["fft"]["error"] < 10 * by["gaussian"]["error"]
+    assert by["gaussian"]["error"] < 10 * by["fft"]["error"]
+
+    # Crossover (Fig 8): Gaussian faster at l=64, FFT faster at l=320.
+    assert by["gaussian"]["modeled_s_l64"] < by["fft"]["modeled_s_l64"]
+    assert by["fft"]["modeled_s_l320"] < by["gaussian"]["modeled_s_l320"]
+
+    benchmark.extra_info["rows"] = {
+        r["sampler"]: {k: float(v) for k, v in r.items()
+                       if k != "sampler"} for r in rows}
+    print_table(format_table(
+        ["sampler", "error", "modeled_s (l=64)", "modeled_s (l=320)"],
+        [[r["sampler"], r["error"], r["modeled_s_l64"],
+          r["modeled_s_l320"]] for r in rows],
+        title="Ablation: Gaussian vs FFT sampling (q=0)"))

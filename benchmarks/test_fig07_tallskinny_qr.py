@@ -1,0 +1,41 @@
+"""Figure 7: Gflop/s of QP3, HHQR, CholQR, CGS, MGS on tall-skinny
+``m x 64`` panels (m = 2 500 - 50 000), from the calibrated kernel
+models.
+
+Paper shape: CholQR on top (up to ~33.2x HHQR, 30.5x average), then
+CGS, then HHQR (~5x QP3), then MGS, then QP3 at the bottom.
+"""
+
+import numpy as np
+
+from repro.bench import fig07_tallskinny_qr, format_series
+
+
+def test_fig07(benchmark, print_table):
+    data = benchmark.pedantic(fig07_tallskinny_qr, rounds=1, iterations=1)
+    ms = data["m"]
+
+    # Strict ordering at every m (the figure's curve stack).
+    for i in range(len(ms)):
+        assert (data["cholqr"][i] > data["cgs"][i] > data["hhqr"][i]
+                > data["mgs"][i] > data["qp3"][i]), f"m={ms[i]}"
+
+    # CholQR / HHQR speedup band (paper: avg 30.5x, max 33.2x).
+    ratios = np.array(data["cholqr"]) / np.array(data["hhqr"])
+    assert 20 < ratios.mean() < 40
+    assert ratios.max() < 45
+
+    # HHQR / QP3 around 5x.
+    hq = np.array(data["hhqr"]) / np.array(data["qp3"])
+    assert 2.5 < hq.mean() < 8
+
+    # All curves increase with m (GPU utilization grows).
+    for key in ("cholqr", "cgs", "hhqr", "mgs", "qp3"):
+        ys = data[key]
+        assert all(a < b for a, b in zip(ys, ys[1:])), key
+
+    benchmark.extra_info["cholqr_over_hhqr_mean"] = float(ratios.mean())
+    series = {k: v for k, v in data.items() if k != "m"}
+    print_table(format_series(ms, series, x_name="m",
+                              title="Figure 7: tall-skinny QR (n=64), "
+                                    "Gflop/s"))

@@ -1,0 +1,57 @@
+"""Figure 8: pruned Gaussian GEMM vs full FFT vs GEMV sampling rates
+over the subspace size (m = 50 000, n = 2 500), row and column variants.
+
+Paper shape: GEMM climbs toward ~1 200 Gflop/s (near the memory-peak
+line), GEMV sits flat and low, the FFT line is flat (fixed flops), and
+the "FFT effective" curve crosses GEMM at l ~ 192 (row) / l ~ 128
+(column) — beyond that the full FFT is the faster sampler.
+"""
+
+import numpy as np
+
+from repro.bench import fig08_sampling_kernels, format_series
+
+
+def _crossover(data):
+    ls = np.array(data["l"])
+    wins = ls[np.array(data["fft_effective"]) > np.array(data["gemm"])]
+    return int(wins.min()) if wins.size else None
+
+
+def test_fig08_row(benchmark, print_table):
+    data = benchmark.pedantic(fig08_sampling_kernels,
+                              kwargs={"axis": "row"},
+                              rounds=1, iterations=1)
+    gemm = np.array(data["gemm"])
+    # GEMM monotone, near 1 200 at the top, below compute peak.
+    assert all(a < b for a, b in zip(gemm, gemm[1:]))
+    assert 1_000 < gemm[-1] < 1_430
+    # GEMV flat and far below GEMM.
+    assert max(data["gemv"]) < 80
+    # Crossover in the paper's band.
+    cross = _crossover(data)
+    assert cross is not None and 128 <= cross <= 320
+    benchmark.extra_info["row_crossover_l"] = cross
+    series = {k: data[k] for k in ("gemm", "gemv", "fft",
+                                   "fft_effective")}
+    print_table(format_series(data["l"], series, x_name="l",
+                              title=f"Figure 8a: row sampling Gflop/s "
+                                    f"(crossover at l={cross}; "
+                                    f"paper ~192)"))
+
+
+def test_fig08_col(benchmark, print_table):
+    data = benchmark.pedantic(fig08_sampling_kernels,
+                              kwargs={"axis": "col"},
+                              rounds=1, iterations=1)
+    cross = _crossover(data)
+    # Paper: column crossover earlier than the row crossover (~128).
+    assert cross is not None and 64 <= cross <= 224
+    row_cross = _crossover(fig08_sampling_kernels(axis="row"))
+    assert cross <= row_cross
+    benchmark.extra_info["col_crossover_l"] = cross
+    series = {k: data[k] for k in ("gemm", "fft", "fft_effective")}
+    print_table(format_series(data["l"], series, x_name="l",
+                              title=f"Figure 8b: column sampling Gflop/s "
+                                    f"(crossover at l={cross}; "
+                                    f"paper ~128)"))

@@ -1,0 +1,31 @@
+"""Figure 9: CholQR vs HHQR on short-wide ``64 x n`` blocks
+(n = 2 500 - 50 000).
+
+Paper: CholQR reaches ~150 Gflop/s; speedups over HHQR up to 106.4x
+with an average of 72.9x.
+"""
+
+import numpy as np
+
+from repro.bench import fig09_shortwide_qr, format_series
+
+
+def test_fig09(benchmark, print_table):
+    data = benchmark.pedantic(fig09_shortwide_qr, rounds=1, iterations=1)
+    cholqr = np.array(data["cholqr"])
+    hhqr = np.array(data["hhqr"])
+
+    assert all(a < b for a, b in zip(cholqr, cholqr[1:]))
+    assert 120 < cholqr[-1] < 200          # top of the paper's axis
+    ratios = cholqr / hhqr
+    assert 50 < ratios.mean() < 95          # paper avg 72.9x
+    assert 80 < ratios.max() < 130          # paper max 106.4x
+
+    benchmark.extra_info["cholqr_over_hhqr_mean"] = float(ratios.mean())
+    benchmark.extra_info["cholqr_over_hhqr_max"] = float(ratios.max())
+    print_table(format_series(
+        data["n"], {"cholqr": data["cholqr"], "hhqr": data["hhqr"],
+                    "speedup": ratios.tolist()},
+        x_name="n",
+        title="Figure 9: short-wide QR (m=64), Gflop/s "
+              "(paper: avg 72.9x, max 106.4x)"))

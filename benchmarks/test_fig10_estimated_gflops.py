@@ -1,0 +1,39 @@
+"""Figure 10: estimated Gflop/s of random sampling (q = 0, 1) vs
+truncated QP3, derived from the kernel models alone (Section 8's
+"evaluate the performance before implementing").
+
+Paper: QP3 limited under 29 Gflop/s; random sampling expected to reach
+676 Gflop/s (q = 1) and 489 Gflop/s (q = 0) at m = 50 000 — implying
+speedups of ~6.7x and ~14.3x once flop ratios are divided out.
+"""
+
+from repro.bench import fig10_estimated_gflops, format_series
+from repro.perfmodel.estimate import estimate_speedup
+
+
+def test_fig10(benchmark, print_table):
+    data = benchmark.pedantic(fig10_estimated_gflops, rounds=1,
+                              iterations=1)
+    # QP3 under 29 Gflop/s everywhere.
+    assert max(data["qp3"]) < 29.5
+    # Sampling rates at m = 50k near the paper's estimates.
+    q1_top = data["rs_q1"][-1]
+    q0_top = data["rs_q0"][-1]
+    assert 500 < q1_top < 850      # paper: 676
+    assert 360 < q0_top < 620      # paper: 489
+    assert q1_top > q0_top
+
+    # Derived speedups (Section 8: 6.7x / 14.3x).
+    s1 = estimate_speedup(50_000, 2_500, 64, 54, 1)
+    s0 = estimate_speedup(50_000, 2_500, 64, 54, 0)
+    assert 4.5 < s1 < 9.0
+    assert 9.0 < s0 < 18.0
+
+    benchmark.extra_info.update(
+        {"rs_q1_at_50k": q1_top, "rs_q0_at_50k": q0_top,
+         "predicted_speedup_q1": s1, "predicted_speedup_q0": s0})
+    series = {k: v for k, v in data.items() if k != "m"}
+    print_table(format_series(
+        data["m"], series, x_name="m",
+        title=f"Figure 10: estimated Gflop/s (paper: 676/489/<29; "
+              f"predicted speedups q1={s1:.1f}x q0={s0:.1f}x)"))

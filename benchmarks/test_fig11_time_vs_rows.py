@@ -1,0 +1,58 @@
+"""Figure 11 + Section 9 headline numbers: modeled run time vs row
+count (n = 2 500, (k; p; q) = (54; 10; 1)) with the phase breakdown
+and the QP3 reference line.
+
+Paper: QP3 time ~ 9.34e-6 m + 0.0098; sampling(q=1) ~ 1.15e-6 m +
+0.0162; speedups up to 6.6x (avg 5.1x) at q = 1 and up to 12.8x
+(avg 8.8x) at q = 0; at m = 50k step 1 holds 78 % of the time and the
+matrix-multiplies ~75 %.
+"""
+
+import numpy as np
+
+from repro.bench import fig11_time_vs_rows, format_breakdown_table
+
+PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
+
+
+def test_fig11_q1(benchmark, print_table):
+    points = benchmark.pedantic(fig11_time_vs_rows, rounds=1, iterations=1)
+    speedups = [p["speedup"] for p in points]
+
+    assert 5.0 < max(speedups) < 8.5        # paper max 6.6x
+    assert 3.5 < np.mean(speedups) < 7.0    # paper avg 5.1x
+
+    last = points[-1]  # m = 50 000
+    assert 0.65 < last["step1_fraction"] < 0.9   # paper 78 %
+    gemm_share = (last["breakdown"]["sampling"]
+                  + last["breakdown"]["gemm_iter"]) / last["total"]
+    assert 0.6 < gemm_share < 0.85               # paper ~75 %
+
+    # Linear-fit slopes within 2x of the paper's.
+    ms = np.array([p["m"] for p in points], dtype=float)
+    rs = np.array([p["total"] for p in points])
+    qp3 = np.array([p["qp3"] for p in points])
+    rs_slope = np.polyfit(ms, rs, 1)[0]
+    qp3_slope = np.polyfit(ms, qp3, 1)[0]
+    assert 0.6e-6 < rs_slope < 2.5e-6            # paper 1.15e-6
+    assert 5e-6 < qp3_slope < 15e-6              # paper 9.34e-6
+
+    benchmark.extra_info.update({
+        "max_speedup_q1": max(speedups),
+        "mean_speedup_q1": float(np.mean(speedups)),
+        "step1_fraction_50k": last["step1_fraction"],
+        "rs_slope": rs_slope, "qp3_slope": qp3_slope})
+    print_table(format_breakdown_table(
+        points, "m", PHASES, extra=("qp3", "speedup"),
+        title="Figure 11: time (s) vs rows, q=1 "
+              "(paper: max speedup 6.6x, avg 5.1x)"))
+
+
+def test_fig11_q0_headline(benchmark):
+    points = benchmark.pedantic(fig11_time_vs_rows, kwargs={"q": 0},
+                                rounds=1, iterations=1)
+    speedups = [p["speedup"] for p in points]
+    assert 10.0 < max(speedups) < 16.0      # paper max 12.8x
+    assert 6.0 < np.mean(speedups) < 12.0   # paper avg 8.8x
+    benchmark.extra_info["max_speedup_q0"] = max(speedups)
+    benchmark.extra_info["mean_speedup_q0"] = float(np.mean(speedups))

@@ -1,0 +1,35 @@
+"""Figure 12: modeled time vs column count (m = 50 000, (l; p; q) =
+(64; 10; 1)).
+
+Paper: QP3's time grows much faster with n than random sampling's
+(their fits differ by ~an order of magnitude in slope), so sampling
+wins across the whole n = 500 - 5 000 range.
+"""
+
+import numpy as np
+
+from repro.bench import fig12_time_vs_cols, format_breakdown_table
+
+PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
+
+
+def test_fig12(benchmark, print_table):
+    points = benchmark.pedantic(fig12_time_vs_cols, rounds=1, iterations=1)
+
+    # Sampling wins at every n.
+    assert all(p["speedup"] > 1.5 for p in points)
+
+    # QP3 grows faster in n than random sampling.
+    ns = np.array([p["n"] for p in points], dtype=float)
+    rs_slope = np.polyfit(ns, [p["total"] for p in points], 1)[0]
+    qp3_slope = np.polyfit(ns, [p["qp3"] for p in points], 1)[0]
+    assert qp3_slope > 3 * rs_slope
+
+    # The paper's QP3 slope ~1.8e-4 s per column at m=50k, k=54.
+    assert 0.9e-4 < qp3_slope < 3.6e-4
+
+    benchmark.extra_info["qp3_slope"] = qp3_slope
+    benchmark.extra_info["rs_slope"] = rs_slope
+    print_table(format_breakdown_table(
+        points, "n", PHASES, extra=("qp3", "speedup"),
+        title="Figure 12: time (s) vs columns (m=50 000)"))

@@ -1,0 +1,37 @@
+"""Figure 13: modeled time vs subspace size l = 32 - 512
+((m; n) = (50 000; 2 500), p = 10, q = 1).
+
+Paper: QP3's time grows much more steeply with the target rank
+(~0.81e-2 per l unit vs ~0.10e-2), so random sampling outperforms QP3
+over the whole range.
+"""
+
+import numpy as np
+
+from repro.bench import fig13_time_vs_rank, format_breakdown_table
+
+PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
+
+
+def test_fig13(benchmark, print_table):
+    points = benchmark.pedantic(fig13_time_vs_rank, rounds=1, iterations=1)
+
+    assert all(p["speedup"] > 1 for p in points)
+
+    ls = np.array([p["l"] for p in points], dtype=float)
+    rs = np.array([p["total"] for p in points])
+    qp3 = np.array([p["qp3"] for p in points])
+    rs_slope = np.polyfit(ls, rs, 1)[0]
+    qp3_slope = np.polyfit(ls, qp3, 1)[0]
+
+    # Paper fit ratio: 0.81e-2 vs 0.10e-2 => ~8x steeper for QP3.
+    assert 4 < qp3_slope / rs_slope < 16
+    # Both monotone in l.
+    assert all(a < b for a, b in zip(rs, rs[1:]))
+    assert all(a < b for a, b in zip(qp3, qp3[1:]))
+
+    benchmark.extra_info["slope_ratio"] = float(qp3_slope / rs_slope)
+    print_table(format_breakdown_table(
+        points, "l", PHASES, extra=("qp3", "speedup"),
+        title="Figure 13: time (s) vs subspace size "
+              "(paper slope ratio ~8x)"))

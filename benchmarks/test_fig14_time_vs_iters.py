@@ -1,0 +1,43 @@
+"""Figure 14: modeled time vs number of power iterations (q = 0 - 12)
+against the QP3 line (n = 2 500, m sweep).
+
+Paper: run time increases linearly with q, and random sampling
+outperforms QP3 for up to twelve iterations (q <= 12) — a razor-thin
+margin at q = 12 (their 0.47 s vs 0.477 s at m = 50k).
+"""
+
+import numpy as np
+
+from repro.bench import fig14_time_vs_iterations, format_series
+
+
+def test_fig14(benchmark, print_table):
+    data = benchmark.pedantic(fig14_time_vs_iterations, rounds=1,
+                              iterations=1)
+    ms = data["m"]
+    last = -1  # m = 50 000
+
+    # Time linear in q at fixed m.
+    qs = (0, 2, 4, 6, 8, 10, 12)
+    times = np.array([data[f"q{q}"][last] for q in qs])
+    increments = np.diff(times)
+    assert np.allclose(increments, increments[0], rtol=0.05)
+
+    # q <= 12 still beats QP3 in the large-m regime (the paper's
+    # headline; at very small m the fixed QRCP-of-B cost makes high-q
+    # sampling lose under the paper's own linear fits as well).
+    big = [i for i, m in enumerate(ms) if m >= 20_000]
+    for q in qs:
+        for i in big:
+            assert data[f"q{q}"][i] <= data["qp3"][i], (q, ms[i])
+
+    # ... but only barely at q = 12 (within 15 % of QP3 at m = 50k).
+    assert data["q12"][last] > 0.85 * data["qp3"][last]
+
+    benchmark.extra_info["q12_over_qp3_at_50k"] = float(
+        data["q12"][last] / data["qp3"][last])
+    series = {k: v for k, v in data.items() if k != "m"}
+    print_table(format_series(ms, series, x_name="m",
+                              title="Figure 14: time (s) vs power "
+                                    "iterations (paper: wins up to "
+                                    "q=12)"))

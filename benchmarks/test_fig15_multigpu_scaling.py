@@ -1,0 +1,53 @@
+"""Figure 15: strong scaling over 1-3 simulated GPUs
+((m; n) = (150 000; 2 500), (l; p; q) = (64; 10; 1)).
+
+Paper: overall speedups of ~2.4x (2 GPUs) and ~3.8x (3 GPUs); the GEMM
+scales superlinearly (2.8x / 5.1x) because each device's local panel
+gets shorter (440 -> 630 -> 760 Gflop/s); inter-GPU communication is
+only 1.6 % (2 GPUs) / 4.3 % (3 GPUs) of total time thanks to the
+communication-optimal CholQR.
+"""
+
+from repro.bench import fig15_multigpu_scaling, format_breakdown_table
+from repro.gpu.kernels import KernelModel
+
+PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr",
+          "comms")
+
+
+def test_fig15(benchmark, print_table):
+    points = benchmark.pedantic(fig15_multigpu_scaling, rounds=1,
+                                iterations=1)
+    assert [p["ng"] for p in points] == [1, 2, 3]
+
+    # Overall speedups in the paper's band.
+    assert 2.0 < points[1]["speedup"] < 3.2      # paper 2.4x
+    assert 3.2 < points[2]["speedup"] < 4.8      # paper 3.8x
+
+    # Communication fractions small and growing with ng.
+    assert 0.005 < points[1]["comms_fraction"] < 0.04   # paper 1.6 %
+    assert 0.015 < points[2]["comms_fraction"] < 0.08   # paper 4.3 %
+    assert points[2]["comms_fraction"] > points[1]["comms_fraction"]
+
+    # Superlinear GEMM mechanism: per-device rate rises as the local
+    # panel shrinks (paper: 440/630/760 Gflop/s).
+    km = KernelModel()
+    rates = []
+    for ng in (1, 2, 3):
+        local = -(-150_000 // ng)
+        flops = 2.0 * 64 * local * 2_500
+        rates.append(flops / (km.gemm_seconds(64, 2_500, local) * 1e9))
+    assert rates[0] < rates[1] < rates[2]
+    gemm_speedup_3 = 3 * rates[2] / rates[0]
+    assert 4.0 < gemm_speedup_3 < 6.0            # paper 5.1x
+
+    benchmark.extra_info.update({
+        "speedup_2gpu": points[1]["speedup"],
+        "speedup_3gpu": points[2]["speedup"],
+        "comms_2gpu": points[1]["comms_fraction"],
+        "comms_3gpu": points[2]["comms_fraction"],
+        "gemm_rates": rates})
+    print_table(format_breakdown_table(
+        points, "ng", PHASES, extra=("speedup", "comms_fraction"),
+        title="Figure 15: strong scaling (paper: 2.4x/3.8x, comms "
+              "1.6 %/4.3 %)"))

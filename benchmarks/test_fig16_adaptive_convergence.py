@@ -1,0 +1,52 @@
+"""Figure 16: convergence of the adaptive-l error estimate on the
+``exponent`` matrix (q = 0) for static increments l_inc = 8-64.
+
+Paper shape: every run's estimate decays geometrically to the 1e-12
+tolerance; the actual error (dashed line) sits one to two orders of
+magnitude *below* the estimates (the estimator is a probabilistic
+upper bound), and smaller l_inc gives slightly more pessimistic
+estimates near the start.
+"""
+
+import numpy as np
+
+from repro.bench import fig16_adaptive_convergence
+from repro.bench.reporting import format_table
+
+
+def test_fig16(benchmark, print_table):
+    runs = benchmark.pedantic(
+        fig16_adaptive_convergence,
+        kwargs={"l_incs": (8, 16, 32, 64), "tolerance": 1e-12,
+                "m": 4_000, "n": 500},
+        rounds=1, iterations=1)
+
+    finals = {}
+    for run in runs:
+        assert run["converged"], run["l_inc"]
+        assert run["estimates"][-1] <= 1e-12
+        # Geometric decay: estimates drop by >= 6 orders overall.
+        assert run["estimates"][0] / run["estimates"][-1] > 1e6
+        # Estimate >= actual error at (almost) every step: allow the
+        # final machine-floor steps a factor.
+        for est, act in zip(run["estimates"], run["actual_errors"]):
+            assert est > 0.2 * act
+        # Pessimism: the estimate typically sits >= 1 order above the
+        # actual error mid-convergence.
+        mid = len(run["estimates"]) // 2
+        assert run["estimates"][mid] > run["actual_errors"][mid]
+        finals[run["l_inc"]] = run["final_size"]
+
+    # Larger static increments overshoot the needed subspace.
+    assert finals[64] >= finals[8]
+
+    benchmark.extra_info["final_sizes"] = finals
+    rows = []
+    for run in runs:
+        for l, est, act in zip(run["sizes"], run["estimates"],
+                               run["actual_errors"]):
+            rows.append([run["l_inc"], l, est, act])
+    print_table(format_table(
+        ["l_inc", "l", "eps_tilde", "actual_error"], rows,
+        title="Figure 16: adaptive convergence (exponent, q=0, "
+              "tol=1e-12)"))

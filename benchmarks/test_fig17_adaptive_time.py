@@ -1,0 +1,48 @@
+"""Figure 17: error estimate vs *modeled GPU time* for the adaptive
+scheme with static and interpolation-adapted l_inc.
+
+Paper shape (Section 10's trade-off): convergence in wall-time is
+slower for small l_inc (inefficient small GEMMs, see Figure 18), large
+static l_inc overshoots the subspace, and the interpolated rule does
+well from any starting increment.
+"""
+
+import numpy as np
+
+from repro.bench import fig17_adaptive_time
+from repro.bench.reporting import format_table
+
+
+def test_fig17(benchmark, print_table):
+    runs = benchmark.pedantic(
+        fig17_adaptive_time,
+        kwargs={"l_incs": (8, 16, 32, 64), "tolerance": 1e-12,
+                "m": 4_000, "n": 500},
+        rounds=1, iterations=1)
+
+    static = {r["l_inc"]: r for r in runs if r["rule"] == "static"}
+    adaptive = {r["l_inc"]: r for r in runs if r["rule"] == "interpolate"}
+
+    for r in runs:
+        assert r["converged"], (r["l_inc"], r["rule"])
+        assert r["total_seconds"] > 0
+        # Modeled time strictly increases across steps.
+        ts = r["times"]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    # The Figure 18 effect: with static steps, l_inc = 8 converges
+    # slower in modeled time than l_inc = 32 (small panels run the
+    # GEMM far below peak).
+    assert static[8]["total_seconds"] > static[32]["total_seconds"]
+
+    # The interpolated rule needs fewer steps than static from the
+    # same small start.
+    assert len(adaptive[8]["times"]) < len(static[8]["times"])
+
+    benchmark.extra_info["seconds"] = {
+        f"{r['rule']}_{r['l_inc']}": r["total_seconds"] for r in runs}
+    rows = [[r["l_inc"], r["rule"], len(r["times"]), r["final_size"],
+             r["total_seconds"]] for r in runs]
+    print_table(format_table(
+        ["l_inc", "rule", "steps", "final_l", "modeled_s"], rows,
+        title="Figure 17: adaptive scheme, modeled time to tol=1e-12"))

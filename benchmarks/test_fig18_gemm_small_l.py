@@ -1,0 +1,35 @@
+"""Figure 18: GEMM Gflop/s at the adaptive scheme's small panel widths
+(m = 50 000, n = 2 500).
+
+Paper table: l_inc -> Gflop/s = {8: 123.3, 16: 247.0, 32: 489.5,
+48: 597.8, 64: 778.5}.  Our calibrated roofline must reproduce each
+value within 15 %.
+"""
+
+import pytest
+
+from repro.bench import fig18_gemm_small_l, format_series
+
+PAPER = {8: 123.3, 16: 247.0, 32: 489.5, 48: 597.8, 64: 778.5}
+
+
+def test_fig18(benchmark, print_table):
+    data = benchmark.pedantic(fig18_gemm_small_l, rounds=1, iterations=1)
+    rates = dict(zip((int(l) for l in data["l_inc"]),
+                     data["gemm_gflops"]))
+
+    for l, ref in PAPER.items():
+        assert rates[l] == pytest.approx(ref, rel=0.15), f"l_inc={l}"
+
+    # Monotone saturation.
+    seq = data["gemm_gflops"]
+    assert all(a < b for a, b in zip(seq, seq[1:]))
+
+    benchmark.extra_info["rates"] = rates
+    benchmark.extra_info["paper"] = PAPER
+    print_table(format_series(
+        data["l_inc"],
+        {"model_gflops": data["gemm_gflops"],
+         "paper_gflops": [PAPER[int(l)] for l in data["l_inc"]]},
+        x_name="l_inc",
+        title="Figure 18: GEMM rate at small panel widths"))

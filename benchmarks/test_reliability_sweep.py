@@ -1,0 +1,89 @@
+"""Section 7: the numerical-reliability study, swept.
+
+"In our numerical experiments, we use a wide range of input parameters
+and a variety of matrices with different distributions of singular
+values in order to provide insights into the reliability."
+
+This bench runs the fixed-rank algorithm over a (matrix x k x p x q x
+seed) grid and checks the reliability properties a user would infer
+from Section 7:
+
+- every run's error is bounded by a modest multiple of the optimum
+  sigma_{k+1} once p >= 5 and q >= 1 (no catastrophic draws);
+- across seeds, the error concentrates (max/min within a small factor)
+  — the algorithm is *reliably* accurate, not accurate on average;
+- q = 0 errors stay within one order of magnitude of q = 2 errors on
+  fast-decaying spectra (the Figure 6 statement, quantified over the
+  grid).
+"""
+
+import numpy as np
+
+from repro import SamplingConfig, best_rank_k_error, random_sampling
+from repro.bench.reporting import format_table
+from repro.matrices.synthetic import exponent_matrix, power_matrix
+
+SEEDS = range(5)
+KS = (10, 30, 50)
+PS = (5, 10)
+QS = (0, 1, 2)
+
+
+def run_sweep():
+    rows = []
+    for gen, name in ((power_matrix, "power"),
+                      (exponent_matrix, "exponent")):
+        a = gen(2_000, 300, seed=100)
+        sigma = {k: best_rank_k_error(a, k, relative=True) for k in KS}
+        for k in KS:
+            for p in PS:
+                for q in QS:
+                    errs = [random_sampling(
+                        a, SamplingConfig(rank=k, oversampling=p,
+                                          power_iterations=q,
+                                          seed=200 + s)).residual(a)
+                        for s in SEEDS]
+                    rows.append({
+                        "matrix": name, "k": k, "p": p, "q": q,
+                        "optimum": sigma[k],
+                        "median": float(np.median(errs)),
+                        "worst": float(max(errs)),
+                        "spread": float(max(errs) / min(errs)),
+                    })
+    return rows
+
+
+def test_reliability_sweep(benchmark, print_table):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    for r in rows:
+        # No catastrophic runs anywhere on the grid.
+        assert r["worst"] < 100 * r["optimum"], r
+        if r["q"] >= 1:
+            # With a power iteration, near-optimal in the worst case.
+            assert r["worst"] < 10 * r["optimum"], r
+        # Concentration across seeds.
+        assert r["spread"] < (30 if r["q"] == 0 else 10), r
+
+    # Figure 6 statement over the whole grid: q = 0 within one order
+    # of q = 2 at the paper's (k, p) = (50, 10).
+    for name in ("power", "exponent"):
+        e0 = next(r for r in rows if r["matrix"] == name and r["k"] == 50
+                  and r["p"] == 10 and r["q"] == 0)
+        e2 = next(r for r in rows if r["matrix"] == name and r["k"] == 50
+                  and r["p"] == 10 and r["q"] == 2)
+        assert e0["median"] < 10 * e2["median"]
+
+    worst_ratio = max(r["worst"] / r["optimum"] for r in rows
+                      if r["q"] >= 1)
+    benchmark.extra_info["worst_over_optimum_q>=1"] = worst_ratio
+    benchmark.extra_info["grid_points"] = len(rows)
+    show = [r for r in rows if r["k"] == 50 and r["p"] == 10]
+    print_table(format_table(
+        ["matrix", "k", "p", "q", "sigma_k+1", "median", "worst",
+         "spread"],
+        [[r["matrix"], r["k"], r["p"], r["q"], r["optimum"],
+          r["median"], r["worst"], r["spread"]] for r in show],
+        title=f"Section 7 reliability sweep ({len(rows)} grid points, "
+              f"5 seeds each; worst/optimum at q>=1: "
+              f"{worst_ratio:.1f}x)"))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The fixed-accuracy problem: adaptive subspace growth (Section 10).
+
+Instead of a target rank, give the algorithm a tolerance: the
+adaptive-l scheme (Figure 3) grows the sampled subspace by ``l_inc``
+vectors per step until the probabilistic estimate ``eps_tilde`` of
+``||A - A B^T B||`` meets it.  This script reproduces the Section 10
+trade-off on the ``exponent`` matrix:
+
+- small ``l_inc`` tracks the needed subspace tightly but runs many
+  inefficient small GEMMs (see Figure 18's rates);
+- large ``l_inc`` runs fast kernels but overshoots the subspace;
+- the interpolated step rule gets the best of both.
+
+Timing comes from the simulated K40c, so the numbers are the modeled
+GPU seconds of Figure 17.
+
+Run:  python examples/fixed_accuracy.py
+"""
+
+from repro import AdaptiveConfig, GPUExecutor, adaptive_sampling
+from repro.matrices import exponent_matrix
+
+M, N, TOL = 5_000, 500, 1e-12
+
+
+def run(a, l_inc: int, rule: str) -> None:
+    ex = GPUExecutor(seed=1)
+    cfg = AdaptiveConfig(tolerance=TOL, l_init=l_inc, l_inc=l_inc,
+                         step_rule=rule, power_iterations=0, seed=1)
+    res = adaptive_sampling(a, cfg, executor=ex)
+    steps = ", ".join(f"l={s.subspace_size}:{s.error_estimate:.1e}"
+                      for s in res.steps)
+    print(f"l_inc={l_inc:>3} {rule:>12}: final l = {res.subspace_size:>4}, "
+          f"modeled time = {res.seconds * 1e3:7.2f} ms, "
+          f"actual error = {res.actual_error(a):.2e}")
+    print(f"    convergence: {steps}")
+
+
+def main() -> None:
+    print(f"exponent matrix {M} x {N}, tolerance {TOL:.0e} "
+          f"(modeled K40c clock)\n")
+    a = exponent_matrix(M, N, seed=0)
+    for l_inc in (8, 16, 32, 64):
+        run(a, l_inc, "static")
+    print()
+    for l_inc in (8, 16, 32, 64):
+        run(a, l_inc, "interpolate")
+    print("\nNote the Figure 16/17 signatures: the estimate sits one to "
+          "two orders above the actual error (it is a probabilistic "
+          "upper bound), small l_inc needs many steps, and the "
+          "interpolated rule converges in the fewest modeled seconds "
+          "from any starting increment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Population clustering on a HapMap-like genotype matrix.
+
+The paper's real-world workload: rows are SNPs, columns are individuals
+from four populations (CEU, GIH, JPT, YRI), and a low-rank
+approximation of the genotype matrix is used for population clustering
+(Section 6, refs [6, 14]).  The HapMap data itself is not
+redistributable, so we use the Balding-Nichols generator from
+``repro.matrices`` (see DESIGN.md for why it preserves the spectral
+structure: a few structure-carrying singular values over a slowly
+decaying noise bulk).
+
+The script:
+
+1. generates the panel and reports its Table 1 statistics;
+2. extracts rank-k factors with random sampling (q = 0 and q = 2);
+3. embeds the individuals with the right factor and k-means-clusters
+   them;
+4. scores cluster/population agreement — the "clustering error"
+   quality measure the paper's conclusion proposes.
+
+Run:  python examples/hapmap_clustering.py
+"""
+
+import numpy as np
+
+from repro import SamplingConfig
+from repro.core.clustering import population_recovery_score
+from repro.matrices import hapmap_like_matrix, table1_row
+
+N_SNPS, N_IND, K = 20_000, 400, 8
+
+
+def main() -> None:
+    print(f"Generating HapMap-like panel ({N_SNPS} SNPs x {N_IND} "
+          f"individuals, 4 populations) ...")
+    panel = hapmap_like_matrix(N_SNPS, N_IND, seed=0, return_panel=True)
+    a = panel.genotypes
+    centered = a - a.mean(axis=1, keepdims=True)
+
+    stats = table1_row(centered, k=50)
+    print(f"  sigma_0 = {stats['sigma_0']:.3g}, sigma_51 = "
+          f"{stats['sigma_k1']:.3g}, kappa = {stats['kappa']:.3g}")
+    print("  (slow spectral decay, as for the paper's hapmap matrix)\n")
+
+    for q in (0, 2):
+        cfg = SamplingConfig(rank=K, oversampling=10,
+                             power_iterations=q, seed=3)
+        acc = population_recovery_score(a, panel.labels, rank=K,
+                                        config=cfg, seed=7)
+        print(f"random sampling q={q}: rank-{K} embedding -> k-means "
+              f"clustering accuracy {acc:.1%}")
+    print("\nPopulation structure is recovered from the low-rank "
+          "factors despite the large Figure 6-style residual: the "
+          "approximation error lives in the genotype noise, not in the "
+          "structure.")
+
+
+if __name__ == "__main__":
+    main()

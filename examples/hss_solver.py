@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Hierarchical solver built on the randomized kernel (paper §11).
+
+The paper's conclusion plans to integrate its randomized GPU kernel
+into an HSS solver (its reference [22]).  This example does exactly
+that with the package's HODLR implementation: a dense kernel matrix
+(discretized integral operator) is compressed by recursively applying
+the randomized SVD to its off-diagonal blocks, then a linear system is
+solved directly through the hierarchical factorization.
+
+What to look for:
+
+- compression ratio grows with the problem size (the off-diagonal
+  blocks are numerically low-rank at every level);
+- the hierarchical solve matches the dense solve to ~1e-8 while doing
+  asymptotically less work;
+- the simulated-GPU clock attributes the compression cost to the same
+  sampling/GEMM phases as the flat algorithm.
+
+Run:  python examples/hss_solver.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import GPUExecutor, build_hodlr
+
+
+def kernel_matrix(n: int) -> np.ndarray:
+    """1D smooth-kernel operator plus identity (well conditioned)."""
+    x = np.linspace(0.0, 1.0, n)
+    return 1.0 / (1.0 + 9.0 * np.abs(x[:, None] - x[None, :])) \
+        + 2.0 * np.eye(n)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print(f"{'n':>6} {'ratio':>7} {'maxrank':>8} {'build(s)':>9} "
+          f"{'solve(s)':>9} {'dense(s)':>9} {'resid':>10} {'gpu(ms)':>8}")
+    for n in (256, 512, 1024, 2048):
+        a = kernel_matrix(n)
+        b = rng.standard_normal(n)
+
+        ex = GPUExecutor(seed=1)
+        t0 = time.perf_counter()
+        h = build_hodlr(a, leaf_size=64, rank=14, executor=ex)
+        t_build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        x = h.solve(b)
+        t_solve = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        np.linalg.solve(a, b)
+        t_dense = time.perf_counter() - t0
+
+        resid = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+        st = h.stats()
+        print(f"{n:>6} {st.compression_ratio:>7.2f} {st.max_rank:>8} "
+              f"{t_build:>9.3f} {t_solve:>9.4f} {t_dense:>9.4f} "
+              f"{resid:>10.2e} {ex.seconds * 1e3:>8.2f}")
+    print("\nThe hierarchical solve stays at ~1e-8 residual while the "
+          "compressed representation shrinks relative to the dense "
+          "matrix as n grows — the regime the paper's HSS follow-up "
+          "targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: rank-k approximation by random sampling vs QRCP.
+
+Builds the paper's ``exponent`` test matrix (sigma_i = 10^(-i/10)) at
+laptop scale, computes a rank-50 approximation with the deterministic
+QP3 baseline and with random sampling at q = 0, 1, 2 power iterations,
+and reports the Figure 6 error norm ``||AP - QR|| / ||A||`` next to the
+Eckart-Young optimum sigma_{k+1}.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SamplingConfig, best_rank_k_error, random_sampling
+from repro.matrices import exponent_matrix
+from repro.qr import qrcp
+
+M, N, K, P = 8_000, 500, 50, 10
+
+
+def main() -> None:
+    print(f"Building the 'exponent' matrix ({M} x {N}) ...")
+    a = exponent_matrix(M, N, seed=0)
+
+    optimum = best_rank_k_error(a, K)
+    print(f"best possible rank-{K} error (sigma_k+1/sigma_0): "
+          f"{optimum:.3e}\n")
+
+    det = qrcp(a, k=K)
+    print(f"QP3 (deterministic, truncated at k={K}):")
+    print(f"  error = {det.residual(a):.3e}")
+    print(f"  column-norm recomputations: {det.norm_recomputations}\n")
+
+    for q in (0, 1, 2):
+        cfg = SamplingConfig(rank=K, oversampling=P, power_iterations=q,
+                             seed=1)
+        factors = random_sampling(a, cfg)
+        print(f"random sampling (l = k + p = {cfg.sample_size}, q = {q}):")
+        print(f"  error = {factors.residual(a):.3e}   "
+              f"({factors.suboptimality(a):.2f}x the optimum)")
+        print(f"  Q: {factors.q.shape}, R: {factors.r.shape}, "
+              f"perm: {factors.perm.shape}")
+    print("\nAs in the paper's Figure 6: q = 0 already matches QP3's "
+          "error order; one power iteration closes the gap.")
+
+
+if __name__ == "__main__":
+    main()

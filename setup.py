@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable builds need it, ``setup.py
+develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

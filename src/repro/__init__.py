@@ -1,0 +1,118 @@
+"""repro — randomized sampling for low-rank approximation of dense
+matrices, with a simulated multi-GPU performance substrate.
+
+A from-scratch reproduction of:
+
+    Théo Mary, Ichitaro Yamazaki, Jakub Kurzak, Piotr Luszczek,
+    Stanimire Tomov, Jack Dongarra.  "Performance of Random Sampling
+    for Computing Low-rank Approximations of a Dense Matrix on GPUs."
+    SC '15.  DOI 10.1145/2807591.2807613.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import random_sampling, SamplingConfig
+>>> rng = np.random.default_rng(0)
+>>> a = rng.standard_normal((2000, 200)) @ rng.standard_normal((200, 150))
+>>> factors = random_sampling(a, SamplingConfig(rank=60, seed=1))
+>>> factors.q.shape, factors.r.shape
+((2000, 60), (60, 150))
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
+system inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured
+record of every table and figure.
+"""
+
+from .config import AdaptiveConfig, QRCPConfig, SamplingConfig
+from .core import (
+    AdaptiveResult,
+    AdaptiveStep,
+    CURDecomposition,
+    LowRankFactors,
+    RandomizedSVD,
+    adaptive_sampling,
+    best_rank_k_error,
+    cur_decomposition,
+    power_iterate,
+    random_sampling,
+    randomized_svd,
+    sample,
+    spectral_error,
+)
+from .hss import HODLRMatrix, HODLRStats, build_hodlr
+from .errors import (
+    CholeskyBreakdownError,
+    ConfigurationError,
+    ConvergenceError,
+    DeviceError,
+    NotOrthogonalError,
+    OutOfDeviceMemoryError,
+    ReproError,
+    ShapeError,
+    SymbolicExecutionError,
+)
+from .gpu import (
+    KEPLER_K40C,
+    ClusterExecutor,
+    GPUExecutor,
+    GPUSpec,
+    KernelModel,
+    MultiGPUExecutor,
+    NetworkSpec,
+    NumpyExecutor,
+    SimulatedGPU,
+    SymArray,
+    scaled_spec,
+)
+from .qr import qrcp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SamplingConfig",
+    "AdaptiveConfig",
+    "QRCPConfig",
+    # core algorithms
+    "random_sampling",
+    "adaptive_sampling",
+    "power_iterate",
+    "sample",
+    "qrcp",
+    "randomized_svd",
+    "cur_decomposition",
+    "build_hodlr",
+    "RandomizedSVD",
+    "CURDecomposition",
+    "HODLRMatrix",
+    "HODLRStats",
+    # results & errors measures
+    "LowRankFactors",
+    "AdaptiveResult",
+    "AdaptiveStep",
+    "spectral_error",
+    "best_rank_k_error",
+    # execution backends
+    "NumpyExecutor",
+    "GPUExecutor",
+    "MultiGPUExecutor",
+    "ClusterExecutor",
+    "NetworkSpec",
+    "scaled_spec",
+    "SimulatedGPU",
+    "SymArray",
+    "GPUSpec",
+    "KernelModel",
+    "KEPLER_K40C",
+    # exceptions
+    "ReproError",
+    "ShapeError",
+    "NotOrthogonalError",
+    "CholeskyBreakdownError",
+    "ConvergenceError",
+    "DeviceError",
+    "OutOfDeviceMemoryError",
+    "SymbolicExecutionError",
+    "ConfigurationError",
+]

@@ -1,0 +1,58 @@
+"""Experiment harness: drivers that regenerate every table and figure
+of the paper's evaluation (Sections 6-10).
+
+Each ``figNN_*`` function in :mod:`repro.bench.figures` returns plain
+dict/rows data; :mod:`repro.bench.reporting` renders the paper-style
+text tables; ``benchmarks/`` wraps the drivers in pytest-benchmark
+targets; ``python -m repro.cli`` exposes them on the command line.
+"""
+
+from .harness import (
+    FixedRankTiming,
+    timed_fixed_rank,
+    qp3_baseline_seconds,
+    scale_rows,
+    full_scale,
+)
+from .figures import (
+    table1_matrices,
+    fig06_accuracy,
+    fig07_tallskinny_qr,
+    fig08_sampling_kernels,
+    fig09_shortwide_qr,
+    fig10_estimated_gflops,
+    fig11_time_vs_rows,
+    fig12_time_vs_cols,
+    fig13_time_vs_rank,
+    fig14_time_vs_iterations,
+    fig15_multigpu_scaling,
+    fig16_adaptive_convergence,
+    fig17_adaptive_time,
+    fig18_gemm_small_l,
+)
+from .reporting import format_table, format_breakdown_table, format_series
+
+__all__ = [
+    "FixedRankTiming",
+    "timed_fixed_rank",
+    "qp3_baseline_seconds",
+    "scale_rows",
+    "full_scale",
+    "table1_matrices",
+    "fig06_accuracy",
+    "fig07_tallskinny_qr",
+    "fig08_sampling_kernels",
+    "fig09_shortwide_qr",
+    "fig10_estimated_gflops",
+    "fig11_time_vs_rows",
+    "fig12_time_vs_cols",
+    "fig13_time_vs_rank",
+    "fig14_time_vs_iterations",
+    "fig15_multigpu_scaling",
+    "fig16_adaptive_convergence",
+    "fig17_adaptive_time",
+    "fig18_gemm_small_l",
+    "format_table",
+    "format_breakdown_table",
+    "format_series",
+]

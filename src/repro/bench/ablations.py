@@ -1,0 +1,200 @@
+"""Ablation experiment drivers.
+
+Each function runs one of the design-choice studies described in
+DESIGN.md's experiment index and returns plain rows; the
+``benchmarks/test_ablation_*.py`` files assert on them and
+``python -m repro.cli ablation-...`` prints them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import AdaptiveConfig, SamplingConfig
+from ..core.adaptive import adaptive_sampling
+from ..core.random_sampling import random_sampling
+from ..gpu.cluster import ClusterExecutor, NetworkSpec, cluster_qp3_seconds
+from ..gpu.device import GPUExecutor, SymArray
+from ..gpu.kernels import KernelModel
+from ..gpu.specs import KEPLER_K40C
+from ..matrices.synthetic import exponent_matrix, power_matrix
+
+__all__ = [
+    "orthogonalization_ablation",
+    "oversampling_ablation",
+    "sampler_ablation",
+    "comm_cost_ablation",
+    "fixed_accuracy_ablation",
+    "cluster_scaling_ablation",
+    "cluster_latency_ablation",
+]
+
+ORTH_SCHEMES = ("cholqr", "cholqr2", "mixed_cholqr", "tsqr",
+                "householder", "cgs", "mgs")
+
+
+def orthogonalization_ablation(schemes=ORTH_SCHEMES) -> List[Dict]:
+    """Error + modeled time of the fixed-rank algorithm per
+    orthogonalization scheme (the Section 6 design choice)."""
+    a = exponent_matrix(3_000, 400, seed=40)
+    rows = []
+    for scheme in schemes:
+        cfg = SamplingConfig(rank=50, oversampling=10, power_iterations=2,
+                             orth=scheme, seed=41)
+        err = random_sampling(a, cfg).residual(a)
+        ex = GPUExecutor(seed=41)
+        random_sampling(SymArray((50_000, 2_500)),
+                        SamplingConfig(rank=54, oversampling=10,
+                                       power_iterations=2, orth=scheme,
+                                       seed=41), executor=ex)
+        rows.append({"scheme": scheme, "error": err,
+                     "modeled_s": ex.seconds})
+    return rows
+
+
+def oversampling_ablation(ps=(0, 2, 5, 10, 20, 50),
+                          trials: int = 5) -> List[Dict]:
+    """Error (median over seeds) and modeled cost per oversampling p
+    (the Section 7 text claims)."""
+    a = power_matrix(4_000, 400, seed=50)
+    rows = []
+    for p in ps:
+        errs = [random_sampling(
+            a, SamplingConfig(rank=50, oversampling=p, seed=51 + t)
+        ).residual(a) for t in range(trials)]
+        ex = GPUExecutor(seed=0)
+        random_sampling(SymArray((50_000, 2_500)),
+                        SamplingConfig(rank=50, oversampling=p,
+                                       power_iterations=1, seed=0),
+                        executor=ex)
+        rows.append({"p": p, "error": float(np.median(errs)),
+                     "modeled_s": ex.seconds})
+    return rows
+
+
+def sampler_ablation() -> List[Dict]:
+    """Gaussian vs FFT sampling: error parity and the modeled-time
+    crossover (Sections 4/7/8)."""
+    a = exponent_matrix(2_048, 300, seed=60)
+    rows = []
+    for sampler in ("gaussian", "fft"):
+        err = random_sampling(
+            a, SamplingConfig(rank=50, sampler=sampler, seed=61)
+        ).residual(a)
+        times = {}
+        for l in (64, 320):
+            ex = GPUExecutor(seed=0)
+            random_sampling(SymArray((50_000, 2_500)),
+                            SamplingConfig(rank=l - 10, oversampling=10,
+                                           sampler=sampler, seed=0),
+                            executor=ex)
+            times[l] = ex.seconds
+        rows.append({"sampler": sampler, "error": err,
+                     "modeled_s_l64": times[64],
+                     "modeled_s_l320": times[320]})
+    return rows
+
+
+def comm_cost_ablation(scales=(1, 10, 100, 1000)) -> List[Dict]:
+    """QP3 / CAQP3 / sampling times as the per-sync cost scales up
+    (the Section 11 claim + the ref [4] comparison)."""
+    m, n, k = 50_000, 2_500, 54
+    ex = GPUExecutor(seed=0)
+    random_sampling(SymArray((m, n)),
+                    SamplingConfig(rank=k, oversampling=10,
+                                   power_iterations=1, seed=0),
+                    executor=ex)
+    t_rs = ex.seconds
+    rows = []
+    for scale in scales:
+        spec = dataclasses.replace(KEPLER_K40C,
+                                   pivot_sync_s=scale * 180e-6)
+        km = KernelModel(spec)
+        rows.append({"sync_scale": scale,
+                     "qp3": km.qp3_seconds(m, n, k),
+                     "caqp3": km.caqp3_seconds(m, n, k),
+                     "sampling_q1": t_rs})
+    return rows
+
+
+def fixed_accuracy_ablation(tols=(1e-4, 1e-7, 1e-10),
+                            m: int = 4_000, n: int = 500) -> List[Dict]:
+    """Tolerance-truncated QP3 vs adaptive sampling on the
+    fixed-accuracy problem (the Section 10 baseline comparison)."""
+    from ..qr.qrcp import qp3_blocked
+    a = exponent_matrix(m, n, seed=70)
+    km = KernelModel()
+    rows = []
+    for tol in tols:
+        det = qp3_blocked(a, tolerance=tol)
+        ex = GPUExecutor(seed=71)
+        res = adaptive_sampling(a, AdaptiveConfig(tolerance=tol,
+                                                  l_init=8, l_inc=16,
+                                                  step_rule="interpolate",
+                                                  seed=71), executor=ex)
+        rows.append({
+            "tol": tol,
+            "qp3_rank": det.k,
+            "qp3_err": det.residual(a, relative=False),
+            "qp3_modeled_s": km.qp3_seconds(50_000, 2_500,
+                                            max(det.k, 1)),
+            "adaptive_l": res.subspace_size,
+            "adaptive_err": res.actual_error(a),
+            "adaptive_modeled_s": _modeled_adaptive_seconds(
+                res.subspace_size),
+        })
+    return rows
+
+
+def _modeled_adaptive_seconds(l: int, inc: int = 16) -> float:
+    """Modeled cost of adaptively sampling an l-dimensional subspace at
+    the canonical 50k x 2.5k shape (q = 0 loop)."""
+    km = KernelModel()
+    t = 0.0
+    steps = max(1, -(-l // inc))
+    for i in range(steps):
+        t += km.curand_seconds(inc * 50_000)
+        t += km.gemm_seconds(inc, 2_500, 50_000)
+        t += km.block_orth_seconds(inc * i + 1, inc, 2_500)
+        t += km.cholqr_seconds(inc, 2_500, reorth=True)
+        t += 2 * km.gemm_seconds(inc, inc * i + 1, 2_500)
+    return t
+
+
+def cluster_scaling_ablation(node_counts=(1, 2, 4, 8, 16),
+                             m: int = 600_000, n: int = 2_500,
+                             k: int = 54) -> Dict[int, float]:
+    """Modeled sampling seconds per node count (3 GPUs each)."""
+    out = {}
+    for nodes in node_counts:
+        ex = ClusterExecutor(nodes=nodes, gpus_per_node=3, seed=0)
+        cfg = SamplingConfig(rank=k, oversampling=10, power_iterations=1,
+                             seed=0)
+        out[nodes] = random_sampling(SymArray((m, n)), cfg,
+                                     executor=ex).seconds
+    return out
+
+
+def cluster_latency_ablation(latencies=(3e-6, 30e-6, 300e-6, 3e-3),
+                             ks=(54, 502), nodes: int = 8,
+                             m: int = 600_000, n: int = 2_500
+                             ) -> List[Dict]:
+    """Sampling-vs-distributed-QP3 speedup over interconnect latency."""
+    rows = []
+    for lat in latencies:
+        net = NetworkSpec(bandwidth_gbs=5.0, latency_s=lat)
+        for k in ks:
+            ex = ClusterExecutor(nodes=nodes, gpus_per_node=3,
+                                 network=net, seed=0)
+            cfg = SamplingConfig(rank=k, oversampling=10,
+                                 power_iterations=1, seed=0)
+            rs = random_sampling(SymArray((m, n)), cfg,
+                                 executor=ex).seconds
+            qp3 = cluster_qp3_seconds(m, n, k, nodes=nodes,
+                                      gpus_per_node=3, network=net)
+            rows.append({"latency": lat, "k": k, "sampling": rs,
+                         "qp3": qp3, "speedup": qp3 / rs})
+    return rows

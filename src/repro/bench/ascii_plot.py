@@ -1,0 +1,158 @@
+"""Terminal rendering of the paper's figures: line charts and stacked
+bars in plain ASCII.
+
+The CLI uses these to *draw* each figure next to its numeric table, so
+a reproduction run can be eyeballed against the paper without any
+plotting dependency.  Log axes are supported because most of the
+paper's interesting structure (Figures 16/17, the kernel-rate spans)
+lives across decades.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["line_chart", "stacked_bars"]
+
+#: Distinct plot glyphs, one per series.
+_MARKS = "ox+*#@%&"
+
+
+def _nice_num(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 1e-2:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    if not log:
+        return list(values)
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ConfigurationError(
+                f"log axis requires positive values, got {v}")
+        out.append(math.log10(v))
+    return out
+
+
+def line_chart(x: Sequence[float], series: Mapping[str, Sequence[float]],
+               width: int = 64, height: int = 18,
+               logx: bool = False, logy: bool = False,
+               title: Optional[str] = None,
+               x_label: str = "x") -> str:
+    """Render one or more y-series over a shared x axis.
+
+    Each series gets its own glyph; a legend and the axis ranges are
+    appended.  Points are mapped to the nearest cell (no
+    interpolation), which is faithful enough for sweep data.
+    """
+    if not x or not series:
+        raise ConfigurationError("line_chart needs data")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {name!r} length {len(ys)} != x length {len(x)}")
+    xt = _transform(x, logx)
+    all_y = [v for ys in series.values() for v in ys]
+    yt_min_src = min(all_y)
+    yt_max_src = max(all_y)
+    yt = {name: _transform(ys, logy) for name, ys in series.items()}
+    ymin = min(v for ys in yt.values() for v in ys)
+    ymax = max(v for ys in yt.values() for v in ys)
+    xmin, xmax = min(xt), max(xt)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(yt.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for xv, yv in zip(xt, ys):
+            col = int(round((xv - xmin) / xspan * (width - 1)))
+            row = int(round((yv - ymin) / yspan * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = _nice_num(yt_max_src)
+    bottom = _nice_num(yt_min_src)
+    gutter = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(label.rjust(gutter) + " |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    xl = _nice_num(min(x))
+    xr = _nice_num(max(x))
+    axis = (" " * (gutter + 2) + xl
+            + " " * max(1, width - len(xl) - len(xr)) + xr)
+    lines.append(axis + f"   ({x_label}"
+                 + (", logx" if logx else "")
+                 + (", logy" if logy else "") + ")")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)
+
+
+def stacked_bars(labels: Sequence, parts: Sequence[Mapping[str, float]],
+                 width: int = 56,
+                 title: Optional[str] = None,
+                 reference: Optional[Mapping] = None) -> str:
+    """Render one horizontal stacked bar per label (the Figures 11-15
+    phase stacks).
+
+    ``parts[i]`` maps phase name -> seconds for ``labels[i]``; the bar
+    is split proportionally with one letter per phase (first letter of
+    the phase name, uniquified).  ``reference`` optionally maps labels
+    to a scalar (e.g. the QP3 time) printed at the end of each row.
+    """
+    if len(labels) != len(parts):
+        raise ConfigurationError("labels/parts length mismatch")
+    if not parts:
+        raise ConfigurationError("stacked_bars needs data")
+    phases: List[str] = []
+    for pt in parts:
+        for name in pt:
+            if name not in phases:
+                phases.append(name)
+    glyphs: Dict[str, str] = {}
+    used = set()
+    for name in phases:
+        g = next((c for c in name if c not in used), "?")
+        used.add(g)
+        glyphs[name] = g
+
+    totals = [sum(pt.values()) for pt in parts]
+    scale_max = max(totals + ([max(reference.values())] if reference
+                              else []))
+    if scale_max <= 0:
+        raise ConfigurationError("nothing to draw (all totals zero)")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(str(l)) for l in labels)
+    for label, pt, total in zip(labels, parts, totals):
+        bar_cells = int(round(total / scale_max * width))
+        bar = ""
+        assigned = 0
+        items = [(ph, pt.get(ph, 0.0)) for ph in phases if pt.get(ph, 0)]
+        for i, (ph, secs) in enumerate(items):
+            cells = (bar_cells - assigned if i == len(items) - 1
+                     else int(round(secs / total * bar_cells)))
+            bar += glyphs[ph] * max(0, cells)
+            assigned += cells
+        suffix = f"  {_nice_num(total)}s"
+        if reference and label in reference:
+            suffix += f"  (ref {_nice_num(reference[label])}s)"
+        lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)}|"
+                     + suffix)
+    legend = "   ".join(f"{glyphs[ph]}={ph}" for ph in phases)
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

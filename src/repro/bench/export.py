@@ -1,0 +1,81 @@
+"""Machine-readable export of experiment results.
+
+``python -m repro.cli fig11 --json out.json`` routes every driver's
+data through :func:`to_jsonable` and writes one JSON document per
+experiment, so downstream plotting (matplotlib notebooks, paper-diff
+scripts) can consume the reproduction without scraping tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["to_jsonable", "dump_json", "collect_experiment"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment data (numpy scalars/arrays,
+    dataclass-free dicts/lists/tuples) into JSON-safe structures."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    raise ConfigurationError(
+        f"cannot serialize {type(value).__name__} to JSON")
+
+
+def dump_json(data: Any, path: str, experiment: str) -> None:
+    """Write ``{"experiment": ..., "data": ...}`` to ``path``."""
+    doc = {"experiment": experiment, "data": to_jsonable(data)}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+#: Driver registry for export: experiment name -> zero-arg callable
+#: returning plain data.  Populated lazily to avoid import cycles.
+def collect_experiment(name: str) -> Any:
+    """Run one experiment driver and return its raw data."""
+    from . import figures
+
+    drivers: Dict[str, Callable[[], Any]] = {
+        "table1": figures.table1_matrices,
+        "fig06": lambda: figures.fig06_accuracy(include_p0=True,
+                                                include_fft=True),
+        "fig07": figures.fig07_tallskinny_qr,
+        "fig08": lambda: {
+            "row": figures.fig08_sampling_kernels(axis="row"),
+            "col": figures.fig08_sampling_kernels(axis="col")},
+        "fig09": figures.fig09_shortwide_qr,
+        "fig10": figures.fig10_estimated_gflops,
+        "fig11": figures.fig11_time_vs_rows,
+        "fig12": figures.fig12_time_vs_cols,
+        "fig13": figures.fig13_time_vs_rank,
+        "fig14": figures.fig14_time_vs_iterations,
+        "fig15": figures.fig15_multigpu_scaling,
+        "fig16": figures.fig16_adaptive_convergence,
+        "fig17": figures.fig17_adaptive_time,
+        "fig18": figures.fig18_gemm_small_l,
+    }
+    try:
+        driver = drivers[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no exportable driver for {name!r}; available: "
+            f"{sorted(drivers)}") from None
+    return driver()

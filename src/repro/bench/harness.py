@@ -1,0 +1,83 @@
+"""Shared plumbing for the figure drivers.
+
+The performance experiments run the *real algorithm control flow* over
+symbolic (shape-only) arrays on the simulated device, so a 150 000 x
+2 500 sweep point costs microseconds of wall time while producing the
+modeled phase breakdown the paper plots.  Numerics experiments
+(Figures 6, 16, 17) run real matrices, optionally scaled down via
+:func:`scale_rows` (set ``REPRO_FULL_SCALE=1`` for paper sizes).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import SamplingConfig
+from ..core.random_sampling import random_sampling
+from ..gpu.device import GPUExecutor, NumpyExecutor, SymArray
+from ..gpu.kernels import KernelModel
+from ..gpu.multigpu import MultiGPUExecutor
+from ..gpu.specs import GPUSpec, KEPLER_K40C
+
+__all__ = ["FixedRankTiming", "timed_fixed_rank", "qp3_baseline_seconds",
+           "scale_rows", "full_scale"]
+
+
+def full_scale() -> bool:
+    """True when the environment requests paper-scale experiments."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+def scale_rows(paper_rows: int, scaled_rows: int) -> int:
+    """Pick the row count for a numerics experiment: the paper's value
+    under ``REPRO_FULL_SCALE=1``, the laptop-scale default otherwise."""
+    return paper_rows if full_scale() else scaled_rows
+
+
+@dataclass
+class FixedRankTiming:
+    """Modeled timing of one fixed-rank run (one Figure 11-15 bar)."""
+
+    m: int
+    n: int
+    k: int
+    sample_size: int
+    q: int
+    ng: int
+    total: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def step1_fraction(self) -> float:
+        """Share of time in Step 1 (PRNG + sampling + iteration), the
+        78 %-at-m=50k statistic of Section 9."""
+        s1 = sum(self.breakdown.get(p, 0.0)
+                 for p in ("prng", "sampling", "gemm_iter", "orth_iter"))
+        return s1 / self.total if self.total > 0 else 0.0
+
+
+def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
+                     ng: int = 1, sampler: str = "gaussian",
+                     spec: GPUSpec = KEPLER_K40C,
+                     seed: int = 0) -> FixedRankTiming:
+    """Run the fixed-rank algorithm symbolically on the simulated
+    device(s) and return the modeled phase breakdown."""
+    if ng == 1:
+        ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed)
+    else:
+        ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed)
+    cfg = SamplingConfig(rank=k, oversampling=p, power_iterations=q,
+                         sampler=sampler, seed=seed)
+    res = random_sampling(SymArray((m, n)), cfg, executor=ex)
+    return FixedRankTiming(m=m, n=n, k=k, sample_size=cfg.sample_size, q=q,
+                           ng=ng, total=res.seconds,
+                           breakdown={ph: s for ph, s in res.breakdown.items()
+                                      if s > 0.0})
+
+
+def qp3_baseline_seconds(m: int, n: int, k: int = 54,
+                         spec: GPUSpec = KEPLER_K40C) -> float:
+    """Modeled time of the truncated QP3 baseline on one device."""
+    return KernelModel(spec).qp3_seconds(m, n, k)

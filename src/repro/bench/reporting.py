@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+Keeps the figure drivers pure-data; everything the CLI and benches
+print goes through these formatters so the output style matches across
+all fourteen experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_breakdown_table", "format_series"]
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            text = "0"
+        elif abs(value) >= 1000 or abs(value) < 1e-3:
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(v, 0).strip() for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown_table(points: Sequence[Mapping],
+                           x_name: str,
+                           phases: Sequence[str],
+                           extra: Sequence[str] = (),
+                           title: Optional[str] = None) -> str:
+    """Render a stacked-bar figure (Figs 11-15) as a table.
+
+    ``points`` are dicts with the x value under ``x_name``, a
+    ``breakdown`` sub-dict, a ``total``, and optional extra scalar
+    columns (e.g. the QP3 reference time).
+    """
+    headers = [x_name] + list(phases) + ["total"] + list(extra)
+    rows = []
+    for pt in points:
+        bd = pt.get("breakdown", {})
+        row = [pt[x_name]] + [bd.get(ph, 0.0) for ph in phases] \
+            + [pt["total"]] + [pt.get(e, "") for e in extra]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(x: Sequence, series: Mapping[str, Sequence],
+                  x_name: str = "x",
+                  title: Optional[str] = None) -> str:
+    """Render several y-series over a shared x axis (Figs 7-10, 14)."""
+    headers = [x_name] + list(series)
+    rows = [[xv] + [series[name][i] for name in series]
+            for i, xv in enumerate(x)]
+    return format_table(headers, rows, title=title)

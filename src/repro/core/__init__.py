@@ -1,0 +1,54 @@
+"""The paper's contribution: randomized sampling for low-rank
+approximation.
+
+- :mod:`repro.core.lowrank` — result types and error measures.
+- :mod:`repro.core.sampling` — the sampling operators (Step 1).
+- :mod:`repro.core.power` — the POWER iteration (Figure 2a).
+- :mod:`repro.core.random_sampling` — the fixed-rank algorithm
+  (Figure 2b).
+- :mod:`repro.core.adaptive` — the adaptive-``l`` fixed-accuracy scheme
+  (Figure 3, Section 10).
+"""
+
+from .lowrank import LowRankFactors, spectral_error, best_rank_k_error
+from .sampling import sample, full_gaussian_sample
+from .power import power_iterate
+from .random_sampling import random_sampling
+from .adaptive import (AdaptiveResult, AdaptiveStep,
+                       adaptive_sampling, estimate_rank)
+from .svd import RandomizedSVD, randomized_svd
+from .cur import CURDecomposition, cur_decomposition
+from .estimator import (certified_bound, bound_constant,
+                        failure_probability, estimate_quality_factor)
+from .subspace import principal_angles, subspace_alignment, captured_energy
+from .clustering import (clustering_accuracy, embed_columns,
+                         cluster_columns, population_recovery_score)
+
+__all__ = [
+    "LowRankFactors",
+    "spectral_error",
+    "best_rank_k_error",
+    "sample",
+    "full_gaussian_sample",
+    "power_iterate",
+    "random_sampling",
+    "AdaptiveResult",
+    "AdaptiveStep",
+    "adaptive_sampling",
+    "estimate_rank",
+    "RandomizedSVD",
+    "randomized_svd",
+    "CURDecomposition",
+    "cur_decomposition",
+    "certified_bound",
+    "bound_constant",
+    "failure_probability",
+    "estimate_quality_factor",
+    "principal_angles",
+    "subspace_alignment",
+    "captured_energy",
+    "clustering_accuracy",
+    "embed_columns",
+    "cluster_columns",
+    "population_recovery_score",
+]

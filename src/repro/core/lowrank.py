@@ -1,0 +1,98 @@
+"""Low-rank factorization results and error measures.
+
+The algorithms produce ``A P ~= Q R`` (the paper's equation (1)):
+``Q`` is ``m x k`` with orthonormal columns, ``R`` is ``k x n`` upper
+trapezoidal *in pivoted column order*, and ``P`` is a column
+permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import ShapeError, SymbolicExecutionError
+from ..gpu.device import ArrayLike, is_symbolic
+from ..gpu.trace import TimeLine
+
+__all__ = ["LowRankFactors", "spectral_error", "best_rank_k_error"]
+
+
+def spectral_error(a: np.ndarray, approx: np.ndarray,
+                   relative: bool = True) -> float:
+    """``||A - approx||_2`` (optionally over ``||A||_2``), the error
+    norm of Figure 6."""
+    if a.shape != approx.shape:
+        raise ShapeError(f"shape mismatch: {a.shape} vs {approx.shape}")
+    err = float(np.linalg.norm(a - approx, ord=2))
+    if relative:
+        na = float(np.linalg.norm(a, ord=2))
+        return err / na if na > 0 else err
+    return err
+
+
+def best_rank_k_error(a: np.ndarray, k: int, relative: bool = True) -> float:
+    """``sigma_{k+1}(A)`` — the optimal rank-``k`` spectral error
+    (Eckart-Young), the floor every algorithm is judged against."""
+    s = np.linalg.svd(a, compute_uv=False)
+    if k >= s.size:
+        return 0.0
+    err = float(s[k])
+    if relative and s[0] > 0:
+        return err / float(s[0])
+    return err
+
+
+@dataclass
+class LowRankFactors:
+    """Result of a rank-``k`` approximation ``A P ~= Q R``.
+
+    Besides the factors, carries the modeled device time of the run
+    (zero for the pure-NumPy executor) and the per-phase breakdown used
+    by the Figure 11-15 benches.
+    """
+
+    q: ArrayLike
+    r: ArrayLike
+    perm: np.ndarray
+    k: int
+    sample_size: int
+    power_iterations: int
+    seconds: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def symbolic(self) -> bool:
+        """True when the run was shape-only (no numerical factors)."""
+        return is_symbolic(self.q, self.r)
+
+    def _require_real(self) -> None:
+        if self.symbolic:
+            raise SymbolicExecutionError(
+                "this result came from a symbolic (timing-only) run; "
+                "re-run with a real matrix for numerical factors")
+
+    def approximation(self) -> np.ndarray:
+        """Rank-``k`` approximation of ``A`` in original column order."""
+        self._require_real()
+        qr = np.asarray(self.q) @ np.asarray(self.r)
+        out = np.empty_like(qr)
+        out[:, self.perm] = qr
+        return out
+
+    def residual(self, a: np.ndarray, relative: bool = True) -> float:
+        """``||A P - Q R|| / ||A||`` — the Figure 6 error norm."""
+        self._require_real()
+        return spectral_error(a[:, self.perm],
+                              np.asarray(self.q) @ np.asarray(self.r),
+                              relative=relative)
+
+    def suboptimality(self, a: np.ndarray) -> float:
+        """Ratio of the achieved error to the Eckart-Young optimum
+        ``sigma_{k+1}`` (1.0 means optimal)."""
+        self._require_real()
+        opt = best_rank_k_error(a, self.k, relative=True)
+        err = self.residual(a, relative=True)
+        return err / opt if opt > 0 else float("inf")

@@ -1,0 +1,79 @@
+"""Step 1 sampling operators: pruned Gaussian and full FFT (Section 4).
+
+The sampling step ``B = Omega A`` conceptually factors as
+``B = S Pi A`` — an ``m x m`` projection ``Pi`` followed by a random
+row selection ``S``.  The *pruned* schemes never form the projected
+``m x n`` matrix:
+
+- **Pruned Gaussian** (the paper's focus): the selected rows of a
+  Gaussian ``Pi`` are themselves Gaussian, so generate the ``l x m``
+  ``Omega`` directly with the PRNG and apply one GEMM — ``O(l m n)``
+  flops instead of ``O(m^2 n)``.
+- **Full FFT**: transform ``A`` along the sampled dimension (padded to
+  a power of two, as cuFFT prefers) and keep ``l`` random rows —
+  ``O(m n log m)`` flops.  (cuFFT offers no pruned FFT, and neither do
+  we: the paper makes the same restriction.)
+
+:func:`full_gaussian_sample` exists for completeness/testing of the
+full-vs-pruned cost claim; it is never the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..gpu.device import ArrayLike, NumpyExecutor, shape_of
+
+__all__ = ["sample", "full_gaussian_sample"]
+
+
+def sample(ex: NumpyExecutor, a: ArrayLike, l: int,
+           kind: str = "gaussian") -> ArrayLike:
+    """Draw the ``l x n`` sampled matrix ``B`` from ``A`` (Step 1).
+
+    Parameters
+    ----------
+    ex:
+        The executor carrying the PRNG and the timing model.
+    a:
+        The ``m x n`` input (real or symbolic).
+    l:
+        Total sampling dimension ``k + p``.
+    kind:
+        ``"gaussian"`` (pruned) or ``"fft"`` (full, row sampling).
+    """
+    m, n = shape_of(a)
+    if l < 1:
+        raise ConfigurationError(f"sample size must be >= 1, got {l}")
+    if l > m:
+        raise ShapeError(f"sample size {l} exceeds m = {m}")
+    if kind == "gaussian":
+        from ..gpu.device import is_symbolic
+        omega = ex.prng_gaussian(l, m, symbolic=is_symbolic(a))
+        return ex.sample_gemm(omega, a)
+    if kind == "fft":
+        return ex.fft_sample(a, l, axis="row")
+    raise ConfigurationError(f"unknown sampler kind {kind!r}")
+
+
+def full_gaussian_sample(a: np.ndarray, l: int,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> np.ndarray:
+    """Reference *full* Gaussian sampling: form the ``m x m`` projected
+    matrix ``Pi A``, then select ``l`` rows.
+
+    Statistically identical to the pruned scheme (the selected rows of
+    a Gaussian matrix are Gaussian) at ``O(m^2 n)`` cost — used only to
+    test that equivalence and to demonstrate the pruning speedup.
+    """
+    rng = rng or np.random.default_rng()
+    m, n = a.shape
+    if l > m:
+        raise ShapeError(f"sample size {l} exceeds m = {m}")
+    pi = rng.standard_normal((m, m))
+    projected = pi @ a
+    rows = rng.choice(m, size=l, replace=False)
+    return projected[rows, :]

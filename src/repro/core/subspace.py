@@ -1,0 +1,78 @@
+"""Subspace comparison utilities.
+
+Quality measures used throughout the tests and benches when comparing
+a sampled subspace against the true dominant singular subspace:
+principal angles, alignment scores, and captured energy.  Exposed as a
+public API because downstream users evaluating the sampler on their own
+data need exactly these diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..qr.utils import as_2d_float
+
+__all__ = ["principal_angles", "subspace_alignment", "captured_energy"]
+
+
+def _orthonormal_basis(x: np.ndarray, rows: bool) -> np.ndarray:
+    """Column-orthonormal basis of the span of ``x`` (rows or columns)."""
+    x = as_2d_float(x, "x")
+    mat = x.T if rows else x
+    q, _ = np.linalg.qr(mat)
+    return q
+
+
+def principal_angles(u: np.ndarray, v: np.ndarray,
+                     rows: bool = False) -> np.ndarray:
+    """Principal angles (radians, ascending) between two subspaces.
+
+    ``u`` and ``v`` span subspaces of a common ambient space with their
+    columns (or rows, with ``rows=True``).  Computed from the singular
+    values of ``Q_u^T Q_v`` clipped into [0, 1] (Björck-Golub).
+    """
+    qu = _orthonormal_basis(u, rows)
+    qv = _orthonormal_basis(v, rows)
+    if qu.shape[0] != qv.shape[0]:
+        raise ShapeError(
+            f"ambient dimension mismatch: {qu.shape[0]} vs {qv.shape[0]}")
+    s = np.linalg.svd(qu.T @ qv, compute_uv=False)
+    s = np.clip(s, 0.0, 1.0)
+    k = min(qu.shape[1], qv.shape[1])
+    return np.sort(np.arccos(s[:k]))
+
+
+def subspace_alignment(u: np.ndarray, v: np.ndarray,
+                       rows: bool = False) -> float:
+    """Mean squared cosine of the principal angles, in [0, 1].
+
+    1.0 means one subspace contains the other; 0.0 means orthogonal.
+    This is the score the power-iteration tests track (it must rise
+    with ``q``).
+    """
+    angles = principal_angles(u, v, rows=rows)
+    return float(np.mean(np.cos(angles) ** 2))
+
+
+def captured_energy(a: np.ndarray, basis: np.ndarray,
+                    rows: bool = True) -> float:
+    """Fraction of ``||A||_F^2`` captured by projecting onto ``basis``.
+
+    With ``rows=True`` (the sampled matrix convention), ``basis`` holds
+    orthonormal rows spanning a row subspace and the projection is
+    ``A basis^T basis``.
+    """
+    a = as_2d_float(a, "a")
+    q = _orthonormal_basis(basis, rows)
+    if rows:
+        proj = (a @ q) @ q.T
+    else:
+        proj = q @ (q.T @ a)
+    total = float(np.linalg.norm(a, "fro") ** 2)
+    if total == 0.0:
+        return 1.0
+    return float(np.linalg.norm(proj, "fro") ** 2) / total

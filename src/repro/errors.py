@@ -1,0 +1,83 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "NotOrthogonalError",
+    "CholeskyBreakdownError",
+    "ConvergenceError",
+    "DeviceError",
+    "OutOfDeviceMemoryError",
+    "SymbolicExecutionError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible or unsupported shape."""
+
+
+class NotOrthogonalError(ReproError, ArithmeticError):
+    """A factor expected to be orthonormal failed an orthogonality check."""
+
+
+class CholeskyBreakdownError(ReproError, ArithmeticError):
+    """Cholesky factorization of a Gram matrix failed.
+
+    Raised by :func:`repro.qr.cholqr.cholqr` when the Gram matrix is not
+    numerically positive definite.  Callers that want robustness should
+    use ``cholqr(..., fallback="householder")`` or the shifted retry.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative scheme failed to reach its tolerance within budget.
+
+    Carries the history of error estimates so the caller can inspect how
+    far the scheme got before giving up.
+    """
+
+    def __init__(self, message: str, history=None):
+        super().__init__(message)
+        self.history = list(history) if history is not None else []
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Generic failure inside the simulated GPU runtime."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """A simulated device allocation exceeded the configured memory size."""
+
+    def __init__(self, requested: int, available: int, capacity: int):
+        super().__init__(
+            f"simulated device OOM: requested {requested} B, "
+            f"available {available} B of {capacity} B"
+        )
+        self.requested = requested
+        self.available = available
+        self.capacity = capacity
+
+
+class SymbolicExecutionError(DeviceError):
+    """A value-producing operation was attempted on a shape-only array.
+
+    Symbolic (dry-run) device arrays carry shapes and dtypes but no
+    data; any kernel that must inspect actual values (e.g. a pivot
+    search driven by data) raises this when executed symbolically.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration dataclass was constructed with invalid values."""

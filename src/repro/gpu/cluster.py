@@ -1,0 +1,154 @@
+"""Distributed-memory cluster runtime (the Section 11 projection).
+
+The paper closes: "Due to its communication efficiency, we expect the
+performance benefits of random sampling to increase on a computer with
+higher communication cost, like a distributed-memory computer."  This
+module extends the single-node multi-GPU runtime to a cluster of such
+nodes so that projection can be *run* rather than argued:
+
+- ``A`` is 1D block-row distributed over all ``nodes x gpus_per_node``
+  devices (the Figure 4 layout, one more tier);
+- partial short-wide results reduce in two hops: PCIe within a node,
+  then a binomial-tree allreduce over the interconnect;
+- the small factorizations (QR of ``B``, QP3 of ``B``) stay
+  node-local, exactly as the single-node runtime keeps them on the
+  CPU/one device;
+- the QP3 *baseline* on the same cluster pays one interconnect
+  allreduce per pivot (the global column-norm argmax) — the
+  communication pattern that motivates the whole paper.
+
+The network model is a standard alpha-beta (latency + bandwidth) cost
+with ``ceil(log2(nodes))`` stages per allreduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .kernels import KernelModel, qp3_flops
+from .multigpu import CPUSpec, MultiGPUExecutor
+from .specs import GPUSpec, KEPLER_K40C
+
+__all__ = ["NetworkSpec", "ClusterExecutor", "cluster_qp3_seconds"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Alpha-beta interconnect model.
+
+    Defaults approximate FDR InfiniBand of the paper's era: ~5 GB/s
+    effective point-to-point bandwidth, ~3 us MPI latency.  Pass larger
+    ``latency_s`` (e.g. 50e-6 for 10GbE) to study the high-cost regime.
+    """
+
+    bandwidth_gbs: float = 5.0
+    latency_s: float = 3e-6
+
+    def ptp_seconds(self, nbytes: int) -> float:
+        """One point-to-point message."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size: {nbytes}")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def allreduce_seconds(self, nbytes: int, nodes: int) -> float:
+        """Binomial-tree allreduce across ``nodes`` ranks."""
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        if nodes == 1:
+            return 0.0
+        stages = math.ceil(math.log2(nodes))
+        return 2 * stages * self.ptp_seconds(nbytes)
+
+
+class ClusterExecutor(MultiGPUExecutor):
+    """``nodes`` x ``gpus_per_node`` simulated devices.
+
+    Math is identical to every other executor (same factors for the
+    same seed); only the modeled clock reflects the two-tier reduction
+    topology.
+    """
+
+    def __init__(self, nodes: int, gpus_per_node: int = 1,
+                 spec: GPUSpec = KEPLER_K40C,
+                 network: NetworkSpec = NetworkSpec(),
+                 cpu: CPUSpec = CPUSpec(),
+                 seed: Optional[int] = None):
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        super().__init__(ng=nodes * gpus_per_node, spec=spec, cpu=cpu,
+                         seed=seed)
+        self.nodes = nodes
+        self.gpus_per_node = gpus_per_node
+        self.network = network
+
+    # -- two-tier reductions ---------------------------------------------
+    def _reduce_b(self, l: int, n: int) -> None:
+        """Intra-node PCIe gather, then inter-node allreduce."""
+        nbytes = 8 * l * n
+        pcie = self.device.transfers.reduce_seconds(nbytes,
+                                                    self.gpus_per_node)
+        net = self.network.allreduce_seconds(nbytes, self.nodes)
+        self._charge_comm(pcie, f"node reduce B {l}x{n}")
+        if net > 0:
+            self._charge_comm(net, f"allreduce B {l}x{n} x{self.nodes}")
+        if self.ng > 1:
+            self._charge_all("comms",
+                             self.cpu.gemm_seconds(
+                                 (self.gpus_per_node - 1 + 1) * l * n),
+                             label="cpu accumulate")
+
+    def _broadcast(self, l: int, n: int, label: str) -> None:
+        nbytes = 8 * l * n
+        net = 0.0
+        if self.nodes > 1:
+            stages = math.ceil(math.log2(self.nodes))
+            net = stages * self.network.ptp_seconds(nbytes)
+        pcie = self.device.transfers.broadcast_seconds(nbytes,
+                                                       self.gpus_per_node)
+        self._charge_comm(net + pcie, label)
+
+    def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
+                phase: str) -> None:
+        """As the single-node runtime, plus the interconnect hop for
+        the small Gram/Cholesky factors of the distributed CholQR."""
+        super()._t_orth(rows, cols, scheme, reorth, phase)
+        if self._is_distributed_width(max(rows, cols)) or phase == "qr":
+            small = min(rows, cols)
+            passes = 2 if reorth else 1
+            net = passes * (self.network.allreduce_seconds(
+                8 * small * small, self.nodes))
+            if net > 0:
+                self._charge_comm(net, "cholqr gram allreduce")
+
+
+def cluster_qp3_seconds(m: int, n: int, k: int, nodes: int,
+                        gpus_per_node: int = 1,
+                        spec: GPUSpec = KEPLER_K40C,
+                        network: NetworkSpec = NetworkSpec(),
+                        block_size: int = 32) -> float:
+    """Modeled time of truncated QP3 with ``A`` block-row distributed
+    over a cluster.
+
+    Flops are perfectly partitioned (every rank updates its local
+    rows), but **every pivot selection is a global argmax over the
+    downdated column norms** — one length-``n`` allreduce per factored
+    column, plus the per-pivot device synchronization.  This is the
+    communication pattern Section 1 blames for QRCP's poor fit on
+    communication-expensive machines.
+    """
+    if nodes < 1 or gpus_per_node < 1:
+        raise ConfigurationError("nodes and gpus_per_node must be >= 1")
+    km = KernelModel(spec)
+    p = nodes * gpus_per_node
+    local_m = -(-m // p)
+    flops = qp3_flops(local_m, n, min(k, local_m, n))
+    blas2 = spec.qp3_blas2_curve(float(n))
+    blas3 = km.gemm_gflops(max(1, local_m), max(1, n - k // 2),
+                           max(1, min(block_size, k)))
+    compute = 0.5 * flops / (blas2 * 1e9) + 0.5 * flops / (blas3 * 1e9)
+    sync = k * (spec.pivot_sync_s
+                + network.allreduce_seconds(8 * n, nodes))
+    return compute + sync

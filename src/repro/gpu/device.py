@@ -1,0 +1,537 @@
+"""The simulated GPU device and the executor layer.
+
+Algorithms in :mod:`repro.core` are written once against the
+:class:`NumpyExecutor` operation set.  Executors differ only in what
+they *charge* for each operation:
+
+- :class:`NumpyExecutor` — plain NumPy math, zero modeled time.  Used
+  for numerics (Figure 6/16) and tests.
+- :class:`GPUExecutor` — same math, but every operation also charges
+  the :class:`SimulatedGPU`'s kernel model, tagged with the paper's
+  phase legend.  Supports **symbolic** arrays (:class:`SymArray`) that
+  carry only shape/dtype, so paper-scale performance sweeps never
+  allocate the matrices.
+- :class:`repro.gpu.multigpu.MultiGPUExecutor` — models the 1D
+  block-row multi-GPU runtime of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import ORTH_SCHEMES
+from ..errors import (ConfigurationError, ShapeError,
+                      SymbolicExecutionError)
+from ..qr import cholqr, gram_schmidt, householder
+from ..qr.qrcp import qp3_blocked
+from ..qr.tsqr import tsqr as tsqr_factorize
+from ..qr.utils import solve_upper_triangular
+from .kernels import KernelModel
+from .memory import DeviceMemory, TransferModel
+from .specs import GPUSpec, KEPLER_K40C
+from .trace import TimeLine
+
+__all__ = ["SymArray", "shape_of", "is_symbolic", "SimulatedGPU",
+           "NumpyExecutor", "GPUExecutor"]
+
+ArrayLike = Union[np.ndarray, "SymArray"]
+
+
+class SymArray:
+    """A shape-only stand-in for a device array.
+
+    Supports just enough structure (shape, dtype, transpose, column
+    take, vstack) for the algorithms to run their *control flow* at
+    paper scale without allocating data.  Any operation that would need
+    actual values raises :class:`repro.errors.SymbolicExecutionError`.
+    """
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape: Tuple[int, ...], dtype=np.float64):
+        if any(int(s) < 0 for s in shape):
+            raise ShapeError(f"negative dimension in {shape}")
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def T(self) -> "SymArray":
+        return SymArray(self.shape[::-1], self.dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def __getitem__(self, key) -> "SymArray":
+        """2-D slicing with plain slices (steps of 1) or index arrays."""
+        if not isinstance(key, tuple):
+            key = (key, slice(None))
+        if len(key) != 2 or len(self.shape) != 2:
+            raise SymbolicExecutionError(
+                "SymArray only supports 2-D (rows, cols) slicing")
+        dims = []
+        for axis, k in enumerate(key):
+            n = self.shape[axis]
+            if isinstance(k, slice):
+                start, stop, step = k.indices(n)
+                if step != 1:
+                    raise SymbolicExecutionError(
+                        "SymArray slicing requires unit steps")
+                dims.append(max(0, stop - start))
+            elif isinstance(k, (list, np.ndarray)):
+                dims.append(len(k))
+            else:
+                raise SymbolicExecutionError(
+                    f"unsupported SymArray index {k!r}")
+        return SymArray(tuple(dims), self.dtype)
+
+    def __repr__(self) -> str:
+        return f"SymArray(shape={self.shape}, dtype={self.dtype})"
+
+
+def is_symbolic(*arrays: ArrayLike) -> bool:
+    """True when any argument is a :class:`SymArray`."""
+    return any(isinstance(a, SymArray) for a in arrays)
+
+
+def shape_of(a: ArrayLike) -> Tuple[int, ...]:
+    """Shape of a real or symbolic array."""
+    return tuple(a.shape)
+
+
+def _mm(a: ArrayLike, b: ArrayLike) -> ArrayLike:
+    """Matrix product, symbolic-aware."""
+    if shape_of(a)[1] != shape_of(b)[0]:
+        raise ShapeError(f"matmul mismatch: {shape_of(a)} @ {shape_of(b)}")
+    if is_symbolic(a, b):
+        return SymArray((shape_of(a)[0], shape_of(b)[1]))
+    return a @ b
+
+
+def _take_columns(a: ArrayLike, idx: Union[np.ndarray, Sequence[int]]
+                  ) -> ArrayLike:
+    if is_symbolic(a):
+        return SymArray((shape_of(a)[0], len(idx)))
+    return a[:, np.asarray(idx)]
+
+
+def _vstack(parts: Sequence[ArrayLike]) -> ArrayLike:
+    cols = {shape_of(p)[1] for p in parts}
+    if len(cols) != 1:
+        raise ShapeError(f"vstack column mismatch: {cols}")
+    rows = sum(shape_of(p)[0] for p in parts)
+    if is_symbolic(*parts):
+        return SymArray((rows, cols.pop()))
+    return np.vstack(parts)
+
+
+class SimulatedGPU:
+    """One simulated device: kernel model + timeline + memory."""
+
+    def __init__(self, spec: GPUSpec = KEPLER_K40C, device_id: int = 0):
+        spec.validate()
+        self.spec = spec
+        self.device_id = device_id
+        self.kernels = KernelModel(spec)
+        self.timeline = TimeLine()
+        self.memory = DeviceMemory(spec.memory_bytes)
+        self.transfers = TransferModel(spec.pcie_bw_gbs, spec.pcie_latency_s)
+
+    @property
+    def elapsed(self) -> float:
+        """Total modeled seconds on this device."""
+        return self.timeline.total
+
+    def charge(self, phase: str, seconds: float, label: str = "") -> None:
+        self.timeline.charge(phase, seconds, label)
+
+    def reset(self) -> None:
+        """Fresh timeline and memory for a new run."""
+        self.timeline = TimeLine()
+        self.memory.reset()
+
+
+class NumpyExecutor:
+    """Pure-NumPy execution of the algorithm operation set.
+
+    All ``_t_*`` timing hooks are no-ops; subclasses charge devices.
+    The RNG lives on the executor so runs are reproducible end to end.
+    """
+
+    #: Executors that cannot run symbolic arrays set this False.
+    supports_symbolic = False
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = np.random.default_rng(seed)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def seconds(self) -> float:
+        """Modeled elapsed seconds (0 for the pure-NumPy executor)."""
+        return 0.0
+
+    @property
+    def timeline(self) -> TimeLine:
+        return TimeLine()
+
+    def reset_clock(self) -> None:
+        """Forget accumulated modeled time (no-op here)."""
+
+    def bind(self, a: ArrayLike) -> None:
+        """Register the input matrix before a run (used by distributed
+        executors to establish the partitioned dimension; no-op here)."""
+
+    # -- timing hooks (overridden by device executors) --------------------
+    def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None: ...
+    def _t_prng(self, count: int) -> None: ...
+    def _t_fft(self, m: int, n: int, axis: str) -> None: ...
+    def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
+                phase: str) -> None: ...
+    def _t_block_orth(self, prev: int, new: int, length: int,
+                      reorth: bool, phase: str) -> None: ...
+    def _t_qrcp(self, m: int, n: int, k: int) -> None: ...
+    def _t_trsolve(self, rows: int, cols: int, phase: str) -> None: ...
+    def _t_copy(self, nbytes: int, phase: str) -> None: ...
+
+    # -- operations -------------------------------------------------------
+    def prng_gaussian(self, rows: int, cols: int,
+                      symbolic: bool = False) -> ArrayLike:
+        """Generate the ``rows x cols`` Gaussian sampling matrix Omega
+        (cuRAND in the paper)."""
+        self._t_prng(rows * cols)
+        if symbolic:
+            if not self.supports_symbolic:
+                raise SymbolicExecutionError(
+                    "this executor does not support symbolic arrays")
+            return SymArray((rows, cols))
+        return self.rng.standard_normal((rows, cols))
+
+    def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
+        """Step 1 pruned Gaussian sampling ``B = Omega A``."""
+        l, m = shape_of(omega)
+        n = shape_of(a)[1]
+        self._t_gemm(l, n, m, phase="sampling")
+        return _mm(omega, a)
+
+    def fft_sample(self, a: ArrayLike, l: int, axis: str = "row",
+                   ) -> ArrayLike:
+        """Full-FFT sampling: FFT-transform A (padded to a power of
+        two) and keep ``l`` randomly selected rows (Section 4).
+
+        A real-to-complex transform's redundant half is discarded; the
+        selected rows are returned as the real/imaginary interleaving
+        so downstream stays in real arithmetic (the standard SRFT
+        construction).
+        """
+        m, n = shape_of(a)
+        sampled_dim = m if axis == "row" else n
+        out_cols = n if axis == "row" else m
+        if l > sampled_dim:
+            raise ShapeError(f"cannot select {l} rows from {sampled_dim}")
+        self._t_fft(m, n, axis)
+        if is_symbolic(a):
+            return SymArray((l, out_cols))
+        if axis not in ("row", "col"):
+            raise ConfigurationError(
+                f"axis must be 'row' or 'col', got {axis!r}")
+        # Real SRFT: Omega = sqrt(d/l) S F D with D a random sign
+        # diagonal, F the (padded) DFT along the sampled dimension and
+        # S a random row selection.  axis="col" samples the columns of
+        # A, i.e. applies the operator to A^T (Figure 8b).
+        target = a if axis == "row" else a.T
+        d = target.shape[0]
+        mp = 1 << max(1, (int(d) - 1).bit_length())
+        signs = self.rng.choice([-1.0, 1.0], size=d)
+        spectrum = np.fft.fft(target * signs[:, None], n=mp, axis=0)
+        spectrum /= np.sqrt(mp)
+        rows = self.rng.choice(mp, size=l, replace=False)
+        picked = spectrum[rows, :]
+        real_or_imag = self.rng.random(l) < 0.5
+        parts = np.where(real_or_imag[:, None], picked.real, picked.imag)
+        return np.ascontiguousarray(parts) * np.sqrt(2.0 * d / l)
+
+    def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
+        """Power-iteration product ``C = B A^T``  (line 7 of Fig. 2a)."""
+        l, n = shape_of(b)
+        m = shape_of(a)[0]
+        self._t_gemm(l, m, n, phase="gemm_iter")
+        return _mm(b, a.T)
+
+    def iter_gemm_a(self, c: ArrayLike, a: ArrayLike) -> ArrayLike:
+        """Power-iteration product ``B = C A``  (line 12 of Fig. 2a)."""
+        l, m = shape_of(c)
+        n = shape_of(a)[1]
+        self._t_gemm(l, n, m, phase="gemm_iter")
+        return _mm(c, a)
+
+    def orth_rows(self, b: ArrayLike, scheme: str = "cholqr2",
+                  phase: str = "orth_iter") -> ArrayLike:
+        """Orthonormalize the rows of a short-wide block; returns Q.
+
+        ``scheme`` selects the kernel (see
+        :data:`repro.config.ORTH_SCHEMES`); math runs through the
+        corresponding :mod:`repro.qr` implementation.
+        """
+        if scheme not in ORTH_SCHEMES:
+            raise ConfigurationError(
+                f"unknown orth scheme {scheme!r}; expected {ORTH_SCHEMES}")
+        l, n = shape_of(b)
+        if l > n:
+            raise ShapeError(f"orth_rows expects a short-wide block, "
+                             f"got {l} x {n}")
+        reorth = scheme in ("cholqr2",)
+        self._t_orth(l, n, scheme, reorth, phase)
+        if is_symbolic(b):
+            return SymArray((l, n))
+        if scheme in ("cholqr", "cholqr2"):
+            # Householder fallback: a rank-deficient block (subspace
+            # exhaustion in the adaptive scheme) breaks the shifted
+            # retry but HHQR still returns an exactly orthonormal Q.
+            q, _ = (cholqr.cholqr2_rows(b, fallback="householder") if reorth
+                    else cholqr.cholqr_rows(b, fallback="householder"))
+            return q
+        if scheme == "mixed_cholqr":
+            q, _ = cholqr.mixed_precision_cholqr_rows(b)
+            return q
+        if scheme == "householder":
+            f = householder.householder_qr(b.T)
+            return f.q().T
+        if scheme == "cgs":
+            q, _ = gram_schmidt.cgs(b.T)
+            return q.T
+        if scheme == "mgs":
+            q, _ = gram_schmidt.mgs(b.T)
+            return q.T
+        if scheme == "tsqr":
+            q, _ = tsqr_factorize(b.T)
+            return q.T
+        raise ConfigurationError(f"unhandled scheme {scheme!r}")
+
+    def block_orth_rows(self, q_prev: Optional[ArrayLike], v: ArrayLike,
+                        reorth: bool = True,
+                        phase: str = "orth_iter") -> ArrayLike:
+        """``BOrth``: orthogonalize the rows of ``v`` against the
+        orthonormal rows of ``q_prev``; returns the updated block."""
+        if q_prev is None or shape_of(q_prev)[0] == 0:
+            if is_symbolic(v):
+                return SymArray(shape_of(v))
+            return np.array(v, copy=True)
+        lp = shape_of(q_prev)[0]
+        lv, n = shape_of(v)
+        self._t_block_orth(lp, lv, n, reorth, phase)
+        if is_symbolic(q_prev, v):
+            return SymArray((lv, n))
+        w, _ = gram_schmidt.block_orth_rows(q_prev, v, reorthogonalize=reorth)
+        return w
+
+    def qrcp_sampled(self, b: ArrayLike, k: int) -> Tuple[ArrayLike,
+                                                          ArrayLike,
+                                                          np.ndarray]:
+        """Step 2: truncated QP3 of the sampled matrix ``B``.
+
+        Returns ``(Q_hat, R_hat, perm)``.  Symbolic inputs get an
+        identity permutation placeholder (the timing model is
+        data-independent).
+        """
+        l, n = shape_of(b)
+        k = min(k, l, n)
+        self._t_qrcp(l, n, k)
+        if is_symbolic(b):
+            return SymArray((l, k)), SymArray((k, n)), np.arange(n)
+        res = qp3_blocked(np.asarray(b), k=k)
+        return res.q, res.r, res.perm
+
+    def take_columns(self, a: ArrayLike, idx: Union[np.ndarray,
+                                                    Sequence[int]]
+                     ) -> ArrayLike:
+        """Gather the pivot columns ``A P_{1:k}`` (device-side copy)."""
+        m = shape_of(a)[0]
+        self._t_copy(8 * m * len(idx), phase="other")
+        return _take_columns(a, idx)
+
+    def qr_selected(self, ap: ArrayLike, scheme: str = "cholqr2"
+                    ) -> Tuple[ArrayLike, ArrayLike]:
+        """Step 3: tall-skinny QR of the selected columns ``A P_{1:k}``.
+
+        Returns ``(Q, R_bar)``; CholQR on the GPU in the paper.
+        """
+        m, k = shape_of(ap)
+        if m < k:
+            raise ShapeError(f"qr_selected expects tall-skinny, got {m}x{k}")
+        reorth = scheme in ("cholqr2",)
+        self._t_orth(m, k, scheme, reorth, phase="qr")
+        if is_symbolic(ap):
+            return SymArray((m, k)), SymArray((k, k))
+        if scheme in ("cholqr", "cholqr2"):
+            return (cholqr.cholqr2_columns(np.asarray(ap)) if reorth
+                    else cholqr.cholqr_columns(np.asarray(ap),
+                                               fallback="shift"))
+        if scheme == "householder":
+            f = householder.householder_qr(np.asarray(ap))
+            return f.q(), f.r()
+        if scheme == "tsqr":
+            return tsqr_factorize(np.asarray(ap))
+        raise ConfigurationError(
+            f"qr_selected supports cholqr/cholqr2/householder/tsqr, "
+            f"got {scheme!r}")
+
+    def solve_upper(self, r11: ArrayLike, r12: ArrayLike,
+                    phase: str = "other") -> ArrayLike:
+        """``T = R11^{-1} R12`` (line 9 of Fig. 2b), triangular solve."""
+        k = shape_of(r11)[0]
+        ncols = shape_of(r12)[1]
+        self._t_trsolve(k, ncols, phase)
+        if is_symbolic(r11, r12):
+            return SymArray((k, ncols))
+        return solve_upper_triangular(np.asarray(r11), np.asarray(r12))
+
+    def assemble_r(self, rbar: ArrayLike, t: ArrayLike,
+                   phase: str = "other") -> ArrayLike:
+        """``R = R_bar [I  T]`` (line 10 of Fig. 2b): a triangular
+        multiply producing the ``k x n`` factor in pivoted order."""
+        k = shape_of(rbar)[0]
+        nt = shape_of(t)[1]
+        self._t_trsolve(k, k + nt, phase)  # TRMM, same cost class
+        if is_symbolic(rbar, t):
+            return SymArray((k, k + nt))
+        rbar = np.asarray(rbar)
+        return np.hstack([rbar, rbar @ np.asarray(t)])
+
+    def estimate_error(self, b_new: ArrayLike, q_prev: ArrayLike,
+                       phase: str = "other") -> float:
+        """Adaptive-scheme error estimate (line 15 of Fig. 3):
+        ``eps_tilde = ||B_new - B_new Q_prev^T Q_prev||``.
+
+        Symbolic inputs cannot produce a value and raise
+        :class:`repro.errors.SymbolicExecutionError`.
+        """
+        li, n = shape_of(b_new)
+        lp = shape_of(q_prev)[0]
+        # Two GEMMs + a norm.
+        self._t_gemm(li, lp, n, phase=phase)
+        self._t_gemm(li, n, lp, phase=phase)
+        if is_symbolic(b_new, q_prev):
+            raise SymbolicExecutionError(
+                "error estimates require real data; run the adaptive "
+                "scheme with a concrete matrix")
+        proj = b_new @ q_prev.T
+        resid = b_new - proj @ q_prev
+        return float(np.linalg.norm(resid, ord=2))
+
+    def vstack(self, parts: Sequence[ArrayLike]) -> ArrayLike:
+        """Stack sampled blocks (subspace growth in the adaptive loop)."""
+        return _vstack(parts)
+
+
+class GPUExecutor(NumpyExecutor):
+    """Single simulated GPU: NumPy math + modeled kernel time."""
+
+    supports_symbolic = True
+
+    def __init__(self, spec: GPUSpec = KEPLER_K40C,
+                 seed: Optional[int] = None,
+                 device: Optional[SimulatedGPU] = None):
+        super().__init__(seed=seed)
+        self.device = device if device is not None else SimulatedGPU(spec)
+        self.kernels = self.device.kernels
+
+    @property
+    def seconds(self) -> float:
+        return self.device.elapsed
+
+    @property
+    def timeline(self) -> TimeLine:
+        return self.device.timeline
+
+    def reset_clock(self) -> None:
+        self.device.reset()
+
+    def bind(self, a: ArrayLike) -> None:
+        """Account the input matrix in device memory (the paper's
+        matrices are device-resident).  A matrix exceeding the K40c's
+        12 GB raises :class:`repro.errors.OutOfDeviceMemoryError` —
+        the same wall a real run would hit."""
+        self.device.memory.reset()
+        m, n = shape_of(a)
+        self.device.memory.allocate(8 * m * n)
+
+    # -- timing hooks -----------------------------------------------------
+    def _gemm_efficiency(self, phase: str) -> float:
+        """Iteration GEMMs (TN/NT shapes) run at the calibrated bonus."""
+        return (self.device.spec.iter_gemm_efficiency
+                if phase == "gemm_iter" else 1.0)
+
+    def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None:
+        secs = self.kernels.gemm_seconds(
+            m, n, k, efficiency=self._gemm_efficiency(phase))
+        self.device.charge(phase, secs, label=f"gemm {m}x{n}x{k}")
+
+    def _t_prng(self, count: int) -> None:
+        self.device.charge("prng", self.kernels.curand_seconds(count),
+                           label=f"curand {count}")
+
+    def _t_fft(self, m: int, n: int, axis: str) -> None:
+        self.device.charge("sampling",
+                           self.kernels.fft_sampling_seconds(m, n, axis),
+                           label=f"fft {m}x{n} {axis}")
+
+    def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
+                phase: str) -> None:
+        k = self.kernels
+        if scheme in ("cholqr", "cholqr2", "mixed_cholqr"):
+            if scheme == "mixed_cholqr":
+                # Always two passes (fast Gram + corrective double
+                # pass); the fast precision halves the first pass.
+                secs = k.cholqr_seconds(rows, cols, reorth=True) * 0.75
+            else:
+                secs = k.cholqr_seconds(rows, cols, reorth=reorth)
+        elif scheme == "householder":
+            secs = k.hhqr_seconds(rows, cols)
+        elif scheme == "cgs":
+            secs = k.cgs_seconds(rows, cols)
+        elif scheme == "mgs":
+            secs = k.mgs_seconds(rows, cols)
+        elif scheme == "tsqr":
+            # TSQR streams like CholQR but re-factors R blocks up the
+            # tree: model as CholQR plus a log-depth latency term.
+            long = max(rows, cols)
+            short = min(rows, cols)
+            depth = max(1, int(np.log2(max(2, long // max(1, 4 * short)))))
+            secs = (k.cholqr_seconds(rows, cols, reorth=False) * 1.5
+                    + depth * 4 * self.device.spec.kernel_launch_s)
+        else:
+            raise ConfigurationError(f"no timing model for {scheme!r}")
+        self.device.charge(phase, secs, label=f"{scheme} {rows}x{cols}")
+
+    def _t_block_orth(self, prev: int, new: int, length: int,
+                      reorth: bool, phase: str) -> None:
+        secs = self.kernels.block_orth_seconds(prev, new, length, reorth)
+        self.device.charge(phase, secs,
+                           label=f"borth {prev}+{new}x{length}")
+
+    def _t_qrcp(self, m: int, n: int, k: int) -> None:
+        self.device.charge("qrcp", self.kernels.qp3_seconds(m, n, k),
+                           label=f"qp3 {m}x{n} k={k}")
+
+    def _t_trsolve(self, rows: int, cols: int, phase: str) -> None:
+        self.device.charge(phase, self.kernels.trsm_seconds(rows, cols),
+                           label=f"trsm {rows}x{cols}")
+
+    def _t_copy(self, nbytes: int, phase: str) -> None:
+        # Device-local gather at memory bandwidth (read + write).
+        secs = (2 * nbytes / (self.device.spec.mem_bw_gbs * 1e9)
+                + self.device.spec.kernel_launch_s)
+        self.device.charge(phase, secs, label=f"copy {nbytes}B")

@@ -1,0 +1,93 @@
+"""Device memory accounting and the PCIe transfer model.
+
+The simulated device tracks allocations so experiments fail the same
+way real ones would when a matrix does not fit in the K40c's 12 GB
+(e.g. the paper's 500 000 x 500 numerics matrix occupies 2 GB; a
+150 000 x 2 500 sweep point occupies 3 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import OutOfDeviceMemoryError, ConfigurationError
+
+__all__ = ["DeviceMemory", "TransferModel"]
+
+
+class DeviceMemory:
+    """Byte-counting allocator for one simulated device."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        self.used = 0
+        self.high_water = 0
+        self._allocations: Dict[int, int] = {}
+        self._next_id = 1
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns an allocation handle.
+
+        Raises :class:`repro.errors.OutOfDeviceMemoryError` when the
+        request exceeds the remaining capacity.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ConfigurationError(f"negative allocation: {nbytes}")
+        if self.used + nbytes > self.capacity:
+            raise OutOfDeviceMemoryError(nbytes, self.capacity - self.used,
+                                         self.capacity)
+        handle = self._next_id
+        self._next_id += 1
+        self._allocations[handle] = nbytes
+        self.used += nbytes
+        self.high_water = max(self.high_water, self.used)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation handle (idempotent errors are raised)."""
+        try:
+            nbytes = self._allocations.pop(handle)
+        except KeyError:
+            raise ConfigurationError(f"unknown allocation handle {handle}")
+        self.used -= nbytes
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def reset(self) -> None:
+        """Drop all allocations (fresh run)."""
+        self._allocations.clear()
+        self.used = 0
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Seconds for host<->device and device<->device copies.
+
+    The paper's multi-GPU runtime moves the short-wide sampled blocks
+    through the host (Figure 4): partial results are accumulated on the
+    CPU and factors broadcast back, so every hop is a PCIe transfer.
+    """
+
+    bandwidth_gbs: float = 6.0
+    latency_s: float = 15e-6
+
+    def seconds(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size: {nbytes}")
+        return nbytes / (self.bandwidth_gbs * 1e9) + self.latency_s
+
+    def reduce_seconds(self, nbytes_each: int, ng: int) -> float:
+        """Gather ``ng`` partial blocks to the host (serialized over the
+        shared PCIe root complex, as on the paper's single node)."""
+        return ng * self.seconds(nbytes_each)
+
+    def broadcast_seconds(self, nbytes: int, ng: int) -> float:
+        """Send one block from host to every device."""
+        return ng * self.seconds(nbytes)

@@ -1,0 +1,260 @@
+"""Hardware constants and calibration anchors for the simulated K40c.
+
+Every number here is either an NVIDIA datasheet value or taken from a
+measurement the paper reports; the fitted parameters are documented
+next to the figure they were fitted against (see DESIGN.md section 5
+for the derivation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["AnchorCurve", "GPUSpec", "KEPLER_K40C"]
+
+
+class AnchorCurve:
+    """Piecewise log-log linear interpolation through anchor points.
+
+    Kernel rates that cannot be derived from a roofline (pivoted /
+    latency-bound factorizations) are calibrated through anchors taken
+    from the paper's own figures.  Interpolation is linear in
+    (log x, log y); outside the anchor range the curve extrapolates
+    flat (clamps to the end values), which keeps the models sane for
+    out-of-range shapes.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 1:
+            raise ConfigurationError("AnchorCurve needs at least one point")
+        pts = sorted(points)
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                raise ConfigurationError(
+                    f"anchors must be positive, got ({x}, {y})")
+        for (x0, _), (x1, _) in zip(pts, pts[1:]):
+            if x0 == x1:
+                raise ConfigurationError(f"duplicate anchor x = {x0}")
+        self._xs = [math.log(x) for x, _ in pts]
+        self._ys = [math.log(y) for _, y in pts]
+        self.points = tuple(pts)
+
+    def __call__(self, x: float) -> float:
+        if x <= 0:
+            raise ConfigurationError(f"AnchorCurve input must be > 0, got {x}")
+        lx = math.log(x)
+        xs, ys = self._xs, self._ys
+        if lx <= xs[0]:
+            return math.exp(ys[0])
+        if lx >= xs[-1]:
+            return math.exp(ys[-1])
+        # Binary search for the segment.
+        lo, hi = 0, len(xs) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if xs[mid] <= lx:
+                lo = mid
+            else:
+                hi = mid
+        t = (lx - xs[lo]) / (xs[hi] - xs[lo])
+        return math.exp(ys[lo] + t * (ys[hi] - ys[lo]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnchorCurve({list(self.points)!r})"
+
+
+def _curve(points: Sequence[Tuple[float, float]]) -> AnchorCurve:
+    return AnchorCurve(points)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Performance description of one simulated GPU.
+
+    Datasheet values
+    ----------------
+    fp64_peak_gflops / mem_bw_gbs:
+        The paper's quoted peaks: 1430 Gflop/s double precision and
+        288 GB/s memory bandwidth (Section 8, Figure 8).
+    memory_bytes:
+        Device memory capacity (12 GB for the K40c).
+
+    Fitted roofline parameters (GEMM)
+    ---------------------------------
+    The panel-GEMM rate for ``B(l x n) = Omega(l x m) A(m x n)`` is
+    modeled as ``1 / (1/P + 4 / (l_eff * B_eff))`` Gflop/s where
+    ``B_eff = bw_cap / (1 + m / gemm_bw_m_half) * l / (l + gemm_bw_l_half)``.
+    The three parameters below were fitted jointly against Figure 18
+    (ell_inc -> Gflop/s at m = 50 000) and the Figure 15 discussion
+    (440/630/760 Gflop/s at m = 150k/75k/50k); the resulting curve
+    matches all eight anchors within ~10 %.
+
+    Latency constants
+    -----------------
+    kernel_launch_s:
+        Per-kernel-launch overhead.
+    pivot_sync_s:
+        CPU<->GPU synchronization per QP3 pivot selection — fitted from
+        the Figure 11 QP3 intercept (~9.8 ms for k = 54 columns).
+    pcie_bw_gbs / pcie_latency_s:
+        Effective host-device transfer rate; reproduces the 1.6 %/4.3 %
+        communication fractions of Figure 15.
+
+    Calibrated kernel curves
+    ------------------------
+    The factorization-kernel effective rates (Gflop/s on the standard
+    ``2 m n^2`` QR flop count) are anchor curves in the long dimension,
+    fitted against Figures 7 (tall-skinny, n = 64) and 9 (short-wide,
+    m = 64): CholQR ~30.5x HHQR tall-skinny (<= 33.2x), ~72.9x
+    short-wide (<= 106.4x), HHQR ~5x QP3, CGS between CholQR and HHQR,
+    MGS below HHQR.
+    """
+
+    name: str = "Tesla K40c (simulated)"
+    fp64_peak_gflops: float = 1430.0
+    dgemm_peak_gflops: float = 1310.0
+    mem_bw_gbs: float = 288.0
+    memory_bytes: int = 12 * 1024 ** 3
+
+    # Panel-GEMM roofline fit (DESIGN.md section 5).
+    gemm_bw_cap_gbs: float = 266.7
+    gemm_bw_m_half: float = 30_000.0
+    gemm_bw_l_half: float = 4.0
+    # The power-iteration products C = B A^T and B = C A are TN/NT
+    # GEMMs whose long dimension is the reduction (or write-once
+    # output) axis; on the K40c these run measurably faster than the
+    # row-panel NN product.  Calibrated against the Figure 11 phase
+    # split (GEMM(iter) = 47.3 % vs sampling = 28.3 % of the total,
+    # i.e. each iteration GEMM ~0.84x the sampling GEMM's time) and
+    # the Figure 14 crossover (sampling beats QP3 up to q = 12).
+    iter_gemm_efficiency: float = 1.58
+
+    # Latencies.
+    kernel_launch_s: float = 10e-6
+    pivot_sync_s: float = 180e-6
+    pcie_bw_gbs: float = 6.0
+    pcie_latency_s: float = 15e-6
+
+    # Memory-bound BLAS-1/2 effective rates.
+    gemv_gflops: float = 40.0
+    axpy_gflops: float = 18.0
+
+    # cuRAND Gaussian generation throughput (samples/s); reproduces the
+    # 0.9 % PRNG share of the Figure 11 breakdown.
+    curand_gsamples: float = 5.0e9
+
+    # cuFFT effective rates on power-of-two padded 5 N log2 N flops.
+    # Calibrated so the pruned-Gaussian/full-FFT crossovers land at
+    # l ~ 192 (row sampling) and l ~ 128 (column sampling) as in
+    # Figure 8; see EXPERIMENTS.md for the flop-convention caveat.
+    fft_row_gflops: float = 280.0
+    fft_col_gflops: float = 430.0
+
+    # Effective rate of the small Cholesky (POTRF) on an l x l block.
+    potrf_gflops: float = 20.0
+
+    # --- anchor curves (x = long dimension in elements) ----------------
+    # Tall-skinny (panel width 64), Figure 7.
+    cholqr_ts_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 38.0), (10_000, 75.0), (25_000, 95.0), (50_000, 115.0)]))
+    hhqr_ts_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 1.2), (10_000, 2.5), (25_000, 3.2), (50_000, 3.6)]))
+    cgs_ts_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 4.0), (10_000, 7.5), (25_000, 10.0), (50_000, 12.0)]))
+    mgs_ts_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 1.0), (10_000, 1.4), (25_000, 1.7), (50_000, 1.85)]))
+    # Short-wide (64 rows), Figure 9.
+    cholqr_sw_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 50.0), (10_000, 110.0), (25_000, 135.0), (50_000, 150.0)]))
+    hhqr_sw_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(2_500, 1.38), (10_000, 1.40), (25_000, 1.41), (50_000, 1.41)]))
+
+    # BLAS-2 rate of the blocked QP3 panel as a function of the trailing
+    # width n; fitted from the Figure 11/12 QP3 slopes (~31 Gflop/s for
+    # n >= 2 500) and the Figure 7 tall-skinny anchor at n = 64.
+    qp3_blas2_curve: AnchorCurve = field(default_factory=lambda: _curve(
+        [(64, 0.45), (500, 24.0), (2_500, 31.0), (5_000, 32.0),
+         (50_000, 34.0)]))
+
+    def validate(self) -> None:
+        """Sanity-check the physically meaningful orderings."""
+        if not (0 < self.dgemm_peak_gflops <= self.fp64_peak_gflops):
+            raise ConfigurationError(
+                "dgemm peak must be positive and <= fp64 peak")
+        if self.gemm_bw_cap_gbs > self.mem_bw_gbs:
+            raise ConfigurationError(
+                "effective GEMM bandwidth cap exceeds the memory peak")
+        if self.pcie_bw_gbs >= self.mem_bw_gbs:
+            raise ConfigurationError("PCIe cannot outrun device memory")
+
+
+#: The paper's GPU.
+KEPLER_K40C = GPUSpec()
+KEPLER_K40C.validate()
+
+
+def scaled_spec(name: str, compute_scale: float = 1.0,
+                bandwidth_scale: float = 1.0,
+                latency_scale: float = 1.0,
+                base: GPUSpec = KEPLER_K40C) -> GPUSpec:
+    """Derive a hypothetical device by scaling the calibrated K40c.
+
+    Section 8's point of the performance model is "to evaluate the
+    performance of random sampling on a target computer before
+    implementing the algorithm"; this helper produces such targets.
+    Compute-bound constants scale with ``compute_scale``,
+    bandwidth-bound ones with ``bandwidth_scale``, and every latency
+    with ``latency_scale`` — the anchor curves are rescaled by the
+    geometric mean of the two throughput factors (panel kernels are
+    part compute-, part bandwidth-limited).
+    """
+    import dataclasses
+
+    if min(compute_scale, bandwidth_scale, latency_scale) <= 0:
+        raise ConfigurationError("scales must be positive")
+    mixed = math.sqrt(compute_scale * bandwidth_scale)
+
+    def scale_curve(curve: AnchorCurve, s: float) -> AnchorCurve:
+        return AnchorCurve([(x, y * s) for x, y in curve.points])
+
+    spec = dataclasses.replace(
+        base,
+        name=name,
+        fp64_peak_gflops=base.fp64_peak_gflops * compute_scale,
+        dgemm_peak_gflops=base.dgemm_peak_gflops * compute_scale,
+        mem_bw_gbs=base.mem_bw_gbs * bandwidth_scale,
+        gemm_bw_cap_gbs=base.gemm_bw_cap_gbs * bandwidth_scale,
+        kernel_launch_s=base.kernel_launch_s * latency_scale,
+        pivot_sync_s=base.pivot_sync_s * latency_scale,
+        pcie_bw_gbs=base.pcie_bw_gbs * bandwidth_scale,
+        pcie_latency_s=base.pcie_latency_s * latency_scale,
+        gemv_gflops=base.gemv_gflops * bandwidth_scale,
+        axpy_gflops=base.axpy_gflops * bandwidth_scale,
+        curand_gsamples=base.curand_gsamples * compute_scale,
+        fft_row_gflops=base.fft_row_gflops * mixed,
+        fft_col_gflops=base.fft_col_gflops * mixed,
+        potrf_gflops=base.potrf_gflops * compute_scale,
+        cholqr_ts_curve=scale_curve(base.cholqr_ts_curve, mixed),
+        hhqr_ts_curve=scale_curve(base.hhqr_ts_curve, bandwidth_scale),
+        cgs_ts_curve=scale_curve(base.cgs_ts_curve, bandwidth_scale),
+        mgs_ts_curve=scale_curve(base.mgs_ts_curve, bandwidth_scale),
+        cholqr_sw_curve=scale_curve(base.cholqr_sw_curve, mixed),
+        hhqr_sw_curve=scale_curve(base.hhqr_sw_curve, bandwidth_scale),
+        qp3_blas2_curve=scale_curve(base.qp3_blas2_curve,
+                                    bandwidth_scale),
+    )
+    spec.validate()
+    return spec
+
+
+#: A Pascal-generation projection (P100-class datasheet ratios over the
+#: K40c: ~3.3x FP64 compute, ~2.5x HBM2 bandwidth, somewhat lower
+#: launch latencies).  Used by the cross-hardware projection bench to
+#: check that the paper's conclusions are not K40c artifacts.
+PASCAL_P100_PROJECTION = scaled_spec(
+    "Tesla P100 (projected)", compute_scale=3.3, bandwidth_scale=2.5,
+    latency_scale=0.7)

@@ -1,0 +1,15 @@
+"""Hierarchical low-rank solver built on the randomized kernel.
+
+The paper's conclusion plans to "extend our study by integrating our
+GPU implementation of the randomized algorithm" into the HSS solver of
+its reference [22] (Yamazaki-Tomov-Dongarra) / [7] (Ghysels et al.).
+This package provides that integration in its weak-admissibility form
+(HODLR): a dense matrix is split recursively into 2 x 2 blocks whose
+off-diagonal blocks are compressed to low rank **by the package's own
+randomized sampling kernel**, and linear systems are solved directly by
+recursive block elimination with Sherman-Morrison-Woodbury updates.
+"""
+
+from .hodlr import HODLRMatrix, HODLRStats, build_hodlr
+
+__all__ = ["HODLRMatrix", "HODLRStats", "build_hodlr"]

@@ -1,0 +1,255 @@
+"""HODLR compression and direct solve using randomized sampling.
+
+A HODLR (Hierarchically Off-Diagonal Low-Rank) matrix partitions an
+``n x n`` matrix recursively::
+
+    A = [[ A_11        U_1 V_2^T ]
+         [ U_2 V_1^T   A_22      ]]
+
+where the diagonal blocks recurse until a dense leaf and each
+off-diagonal block is stored in factored low-rank form.  The low-rank
+factors come from :func:`repro.core.svd.randomized_svd` — the paper's
+randomized kernel — so the compression inherits its cost profile
+(GEMM-dominated sampling + small factorizations).
+
+Solving uses the standard HODLR recursion: with ``D = diag(A_11,
+A_22)`` and the off-diagonal part written as ``U~ V~^T``,
+
+    ``A = D (I + D^{-1} U~ V~^T)``
+
+so ``A^{-1} b = (I + W~ V~^T)^{-1} D^{-1} b`` with ``W~ = D^{-1} U~``
+computed by two recursive solves, and the outer inverse applied through
+the Sherman-Morrison-Woodbury identity against a ``2r x 2r`` capacitance
+matrix.  Total work is ``O(n log^2 n r^2)``-class versus the dense
+``O(n^3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SamplingConfig
+from ..core.svd import randomized_svd
+from ..errors import ShapeError
+from ..gpu.device import NumpyExecutor
+
+__all__ = ["HODLRMatrix", "HODLRStats", "build_hodlr"]
+
+
+@dataclass
+class HODLRStats:
+    """Compression statistics of a built HODLR matrix."""
+
+    n: int
+    levels: int
+    leaf_count: int
+    max_rank: int
+    stored_entries: int
+
+    @property
+    def dense_entries(self) -> int:
+        return self.n * self.n
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense entries over stored entries (> 1 means compressed)."""
+        return self.dense_entries / max(1, self.stored_entries)
+
+
+class _Node:
+    """One node of the HODLR tree."""
+
+    __slots__ = ("n", "dense", "left", "right", "u1", "v2t", "u2", "v1t")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.dense: Optional[np.ndarray] = None
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.u1 = self.v2t = self.u2 = self.v1t = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.dense is not None
+
+
+def _compress_block(block: np.ndarray, rank: int,
+                    config: SamplingConfig,
+                    executor: Optional[NumpyExecutor]):
+    """Low-rank factors (U, V^T) of an off-diagonal block via the
+    randomized SVD; falls back to the exact SVD for tiny blocks where
+    the sampling overhead is silly."""
+    m, n = block.shape
+    r = min(rank, m, n)
+    if r >= min(m, n) or min(m, n) <= 2 * config.oversampling:
+        u, s, vt = np.linalg.svd(block, full_matrices=False)
+        return u[:, :r] * s[:r], vt[:r, :]
+    cfg = SamplingConfig(rank=r,
+                         oversampling=min(config.oversampling,
+                                          max(0, min(m, n) - r)),
+                         power_iterations=config.power_iterations,
+                         sampler=config.sampler, orth=config.orth,
+                         seed=config.seed)
+    f = randomized_svd(block, cfg, executor=executor)
+    return f.u * f.s, f.vt
+
+
+def _build(a: np.ndarray, leaf_size: int, rank: int,
+           config: SamplingConfig,
+           executor: Optional[NumpyExecutor]) -> _Node:
+    n = a.shape[0]
+    node = _Node(n)
+    if n <= leaf_size:
+        node.dense = np.array(a, copy=True)
+        return node
+    h = n // 2
+    node.u1, node.v2t = _compress_block(a[:h, h:], rank, config, executor)
+    node.u2, node.v1t = _compress_block(a[h:, :h], rank, config, executor)
+    node.left = _build(a[:h, :h], leaf_size, rank, config, executor)
+    node.right = _build(a[h:, h:], leaf_size, rank, config, executor)
+    return node
+
+
+def _matvec(node: _Node, x: np.ndarray) -> np.ndarray:
+    if node.is_leaf:
+        return node.dense @ x
+    h = node.left.n
+    top = _matvec(node.left, x[:h]) + node.u1 @ (node.v2t @ x[h:])
+    bot = node.u2 @ (node.v1t @ x[:h]) + _matvec(node.right, x[h:])
+    return np.concatenate([top, bot], axis=0)
+
+
+def _solve(node: _Node, b: np.ndarray) -> np.ndarray:
+    """Recursive HODLR solve with multiple right-hand sides."""
+    if node.is_leaf:
+        return np.linalg.solve(node.dense, b)
+    h = node.left.n
+    r1 = node.u1.shape[1]
+    r2 = node.u2.shape[1]
+    # Solve the diagonal blocks against [b_i | U_i] in one pass.
+    top = _solve(node.left, np.hstack([b[:h], node.u1]))
+    bot = _solve(node.right, np.hstack([b[h:], node.u2]))
+    nrhs = b.shape[1]
+    y1, w1 = top[:, :nrhs], top[:, nrhs:]
+    y2, w2 = bot[:, :nrhs], bot[:, nrhs:]
+    # Capacitance system:  (I + V~^T W~) z = V~^T y, with the
+    # anti-diagonal coupling V~^T = [[0, V2^T], [V1^T, 0]].
+    vy = np.vstack([node.v2t @ y2, node.v1t @ y1])
+    cap = np.eye(r1 + r2)
+    cap[:r1, r1:] += node.v2t @ w2
+    cap[r1:, :r1] += node.v1t @ w1
+    z = np.linalg.solve(cap, vy)
+    x1 = y1 - w1 @ z[:r1]
+    x2 = y2 - w2 @ z[r1:]
+    return np.vstack([x1, x2])
+
+
+def _collect_stats(node: _Node, levels: int = 0):
+    if node.is_leaf:
+        return levels, 1, 0, node.dense.size
+    l1, c1, r1, s1 = _collect_stats(node.left, levels + 1)
+    l2, c2, r2, s2 = _collect_stats(node.right, levels + 1)
+    stored = (node.u1.size + node.v2t.size + node.u2.size
+              + node.v1t.size + s1 + s2)
+    rank = max(r1, r2, node.u1.shape[1], node.u2.shape[1])
+    return max(l1, l2), c1 + c2, rank, stored
+
+
+class HODLRMatrix:
+    """A HODLR-compressed square matrix with matvec and direct solve.
+
+    Build with :func:`build_hodlr`.
+    """
+
+    def __init__(self, root: _Node):
+        self._root = root
+        self.n = root.n
+
+    @property
+    def shape(self):
+        return (self.n, self.n)
+
+    def stats(self) -> HODLRStats:
+        """Compression statistics (levels, max off-diagonal rank,
+        stored entries vs dense)."""
+        levels, leaves, rank, stored = _collect_stats(self._root)
+        return HODLRStats(n=self.n, levels=levels, leaf_count=leaves,
+                          max_rank=rank, stored_entries=stored)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a vector or ``n x k`` block."""
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.shape[0] != self.n:
+            raise ShapeError(f"x has {x.shape[0]} rows, expected {self.n}")
+        y = _matvec(self._root, x)
+        return y[:, 0] if squeeze else y
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (vector or multiple right-hand sides)."""
+        b = np.asarray(b, dtype=np.float64)
+        squeeze = b.ndim == 1
+        if squeeze:
+            b = b[:, None]
+        if b.shape[0] != self.n:
+            raise ShapeError(f"b has {b.shape[0]} rows, expected {self.n}")
+        x = _solve(self._root, b)
+        return x[:, 0] if squeeze else x
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the compressed operator (testing/debugging)."""
+        return self.matvec(np.eye(self.n))
+
+
+def build_hodlr(a: np.ndarray, leaf_size: int = 64, rank: int = 16,
+                config: Optional[SamplingConfig] = None,
+                executor: Optional[NumpyExecutor] = None) -> HODLRMatrix:
+    """Compress a dense square matrix into HODLR form.
+
+    Parameters
+    ----------
+    a:
+        Dense ``n x n`` matrix whose off-diagonal blocks are
+        numerically low-rank (kernel matrices, discretized integral
+        operators, banded-plus-smooth operators...).
+    leaf_size:
+        Diagonal blocks at or below this size stay dense.
+    rank:
+        Off-diagonal compression rank.
+    config:
+        Sampling parameters for the randomized compression (rank is
+        overridden per block); defaults to ``q = 1`` power iteration,
+        which keeps the compression error near ``sigma_{r+1}`` of each
+        block.
+    executor:
+        Executor used for the randomized compressions (a
+        :class:`repro.gpu.GPUExecutor` accumulates the modeled GPU cost
+        of the whole construction).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> x = np.linspace(0, 1, 256)
+    >>> a = 1.0 / (1.0 + np.abs(x[:, None] - x[None, :])) + np.eye(256)
+    >>> h = build_hodlr(a, leaf_size=32, rank=12)
+    >>> rhs = np.ones(256)
+    >>> err = np.linalg.norm(a @ h.solve(rhs) - rhs)
+    >>> bool(err < 1e-6)
+    True
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"HODLR needs a square matrix, got {a.shape}")
+    if leaf_size < 2:
+        raise ShapeError(f"leaf_size must be >= 2, got {leaf_size}")
+    if rank < 1:
+        raise ShapeError(f"rank must be >= 1, got {rank}")
+    cfg = config if config is not None else SamplingConfig(
+        rank=rank, oversampling=10, power_iterations=1, seed=0)
+    root = _build(a, leaf_size, rank, cfg, executor)
+    return HODLRMatrix(root)

@@ -1,0 +1,51 @@
+"""Test-matrix generators reproducing Table 1 of the paper.
+
+Two synthetic spectra (``power``: ``sigma_i = (i+1)^-3``; ``exponent``:
+``sigma_i = 10^(-i/10)``) plus a HapMap-like population-genotype matrix
+standing in for the International HapMap Project data the paper used.
+"""
+
+from .synthetic import (
+    random_orthonormal,
+    power_spectrum,
+    exponent_spectrum,
+    spectrum_matrix,
+    power_matrix,
+    exponent_matrix,
+)
+from .hapmap_like import hapmap_like_matrix, HapmapPanel
+from .gallery import (
+    kahan_matrix,
+    devil_stairs,
+    gap_spectrum_matrix,
+    noisy_lowrank,
+    slow_polynomial_decay,
+)
+from .registry import (
+    MatrixSpec,
+    TABLE1_SPECS,
+    get_matrix,
+    list_matrices,
+    table1_row,
+)
+
+__all__ = [
+    "random_orthonormal",
+    "power_spectrum",
+    "exponent_spectrum",
+    "spectrum_matrix",
+    "power_matrix",
+    "exponent_matrix",
+    "hapmap_like_matrix",
+    "HapmapPanel",
+    "kahan_matrix",
+    "devil_stairs",
+    "gap_spectrum_matrix",
+    "noisy_lowrank",
+    "slow_polynomial_decay",
+    "MatrixSpec",
+    "TABLE1_SPECS",
+    "get_matrix",
+    "list_matrices",
+    "table1_row",
+]

@@ -1,0 +1,106 @@
+"""Gallery of hard test matrices for rank-revealing factorizations.
+
+Beyond the paper's three evaluation matrices, the rank-revealing-QR
+literature uses a standard set of adversarial spectra to stress pivot
+selection and subspace sampling.  These are used by the robustness
+tests (and are handy for users evaluating the algorithms on their own
+regime):
+
+- :func:`kahan_matrix` — Kahan's classic example on which unmodified
+  QRCP underestimates the smallest singular value;
+- :func:`devil_stairs` — a staircase spectrum (plateaus separated by
+  sharp drops) that defeats naive rank estimates;
+- :func:`gap_spectrum_matrix` — a single large spectral gap at a known
+  index (the easiest case; used as a sanity anchor);
+- :func:`noisy_lowrank` — exact low rank plus white noise at a chosen
+  SNR (the hapmap-like regime, parameterized);
+- :func:`slow_polynomial_decay` — sigma_i = i^{-alpha} for small alpha,
+  the worst regime for a fixed oversampling budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .synthetic import RngLike, _as_generator, random_orthonormal, \
+    spectrum_matrix
+
+__all__ = ["kahan_matrix", "devil_stairs", "gap_spectrum_matrix",
+           "noisy_lowrank", "slow_polynomial_decay"]
+
+
+def kahan_matrix(n: int, theta: float = 1.2) -> np.ndarray:
+    """Kahan's upper-triangular matrix ``K = diag(c^i) * (I - s*U)``.
+
+    ``c = cos(theta)``, ``s = sin(theta)``, ``U`` strictly upper ones.
+    Its columns have equal norms after the diagonal scaling, so
+    column-pivoted QR takes them in order and misses how tiny the
+    trailing singular value really is — the standard counterexample to
+    QRCP's rank-revealing guarantee.
+    """
+    if n < 1:
+        raise ShapeError(f"n must be >= 1, got {n}")
+    c, s = np.cos(theta), np.sin(theta)
+    if not 0 < c < 1:
+        raise ShapeError("theta must give 0 < cos(theta) < 1")
+    k = np.eye(n) - s * np.triu(np.ones((n, n)), 1)
+    scale = c ** np.arange(n)
+    return scale[:, None] * k
+
+
+def devil_stairs(m: int, n: int, steps: int = 5, drop: float = 100.0,
+                 seed: RngLike = None) -> np.ndarray:
+    """Staircase spectrum: ``steps`` plateaus, each ``drop``x below the
+    previous, with Haar singular vectors."""
+    if steps < 1 or drop <= 1:
+        raise ShapeError("need steps >= 1 and drop > 1")
+    r = min(m, n)
+    plateau = -(-r // steps)
+    sigma = np.concatenate([
+        np.full(plateau, drop ** (-i)) for i in range(steps)])[:r]
+    return spectrum_matrix(m, n, sigma, seed=seed)
+
+
+def gap_spectrum_matrix(m: int, n: int, rank: int, gap: float = 1e6,
+                        seed: RngLike = None) -> np.ndarray:
+    """Flat spectrum with one sharp gap after ``rank`` values."""
+    r = min(m, n)
+    if not 0 < rank < r:
+        raise ShapeError(f"need 0 < rank < min(m, n), got {rank}")
+    sigma = np.ones(r)
+    sigma[rank:] = 1.0 / gap
+    return spectrum_matrix(m, n, sigma, seed=seed)
+
+
+def noisy_lowrank(m: int, n: int, rank: int, snr: float = 100.0,
+                  seed: RngLike = None) -> np.ndarray:
+    """Exact rank-``rank`` signal (unit singular values) plus white
+    Gaussian noise with spectral norm ``~1/snr``.
+
+    The noise entries are scaled by ``1 / (2 sqrt(max(m, n)) snr)``,
+    since an m x n Gaussian matrix has spectral norm
+    ``~(sqrt(m) + sqrt(n)) sigma_entry``.
+    """
+    if not 0 < rank <= min(m, n):
+        raise ShapeError(f"bad rank {rank} for ({m}, {n})")
+    if snr <= 0:
+        raise ShapeError("snr must be positive")
+    rng = _as_generator(seed)
+    signal = random_orthonormal(m, rank, rng) \
+        @ random_orthonormal(n, rank, rng).T
+    noise = rng.standard_normal((m, n))
+    noise *= 1.0 / (2.0 * np.sqrt(max(m, n)) * snr)
+    return signal + noise
+
+
+def slow_polynomial_decay(m: int, n: int, alpha: float = 0.5,
+                          seed: RngLike = None) -> np.ndarray:
+    """``sigma_i = (i + 1)^{-alpha}`` with small ``alpha`` — the heavy
+    tail that makes the randomized error bound's Frobenius term bite
+    (the hapmap regime in synthetic form)."""
+    if alpha <= 0:
+        raise ShapeError("alpha must be positive")
+    r = min(m, n)
+    sigma = (np.arange(r) + 1.0) ** (-alpha)
+    return spectrum_matrix(m, n, sigma, seed=seed)

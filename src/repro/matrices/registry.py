@@ -1,0 +1,136 @@
+"""Named registry of the paper's test matrices (Table 1).
+
+Benches and tests request matrices by name (``"power"``, ``"exponent"``,
+``"hapmap"``) at either paper scale or a reduced scale; the registry
+also computes the Table 1 summary row (sigma_0, sigma_{k+1}, kappa) for
+a generated instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from . import synthetic
+from .hapmap_like import hapmap_like_matrix
+from .synthetic import RngLike
+
+__all__ = ["MatrixSpec", "TABLE1_SPECS", "get_matrix", "list_matrices",
+           "table1_row"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Description of one Table 1 test matrix.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    paper_shape:
+        The (m, n) used in the paper.
+    default_rank, default_oversampling:
+        The (k, p) the paper pairs with this matrix.
+    description:
+        Human-readable definition of the spectrum / data source.
+    """
+
+    name: str
+    paper_shape: Tuple[int, int]
+    default_rank: int
+    default_oversampling: int
+    description: str
+    factory: Callable[..., np.ndarray]
+
+
+def _power_factory(m: int, n: int, seed: RngLike) -> np.ndarray:
+    return synthetic.power_matrix(m, n, seed=seed)
+
+
+def _exponent_factory(m: int, n: int, seed: RngLike) -> np.ndarray:
+    return synthetic.exponent_matrix(m, n, seed=seed)
+
+
+def _hapmap_factory(m: int, n: int, seed: RngLike) -> np.ndarray:
+    return hapmap_like_matrix(n_snps=m, n_individuals=n, seed=seed)
+
+
+TABLE1_SPECS: Dict[str, MatrixSpec] = {
+    "power": MatrixSpec(
+        name="power",
+        paper_shape=(500_000, 500),
+        default_rank=50,
+        default_oversampling=10,
+        description="sigma_i = (i+1)^-3, Haar-random singular vectors",
+        factory=_power_factory,
+    ),
+    "exponent": MatrixSpec(
+        name="exponent",
+        paper_shape=(500_000, 500),
+        default_rank=50,
+        default_oversampling=10,
+        description="sigma_i = 10^(-i/10), Haar-random singular vectors",
+        factory=_exponent_factory,
+    ),
+    "hapmap": MatrixSpec(
+        name="hapmap",
+        paper_shape=(503_783, 506),
+        default_rank=50,
+        default_oversampling=10,
+        description="Balding-Nichols synthetic stand-in for the "
+                    "International HapMap genotype panel",
+        factory=_hapmap_factory,
+    ),
+}
+
+
+def list_matrices() -> Tuple[str, ...]:
+    """Names of all registered test matrices."""
+    return tuple(TABLE1_SPECS)
+
+
+def get_matrix(name: str, m: Optional[int] = None, n: Optional[int] = None,
+               seed: RngLike = 0) -> np.ndarray:
+    """Instantiate a registered test matrix.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_matrices`.
+    m, n:
+        Override the paper's shape (both default to the paper values —
+        note the paper's ``m`` is 500 000; pass something smaller for
+        interactive use).
+    seed:
+        PRNG seed; defaults to 0 for reproducible benches.
+    """
+    try:
+        spec = TABLE1_SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown matrix {name!r}; available: {list_matrices()}"
+        ) from None
+    pm, pn = spec.paper_shape
+    return spec.factory(m if m is not None else pm,
+                        n if n is not None else pn, seed)
+
+
+def table1_row(a: np.ndarray, k: int = 50) -> Dict[str, float]:
+    """Compute the Table 1 summary statistics for a matrix instance.
+
+    Returns a dict with ``sigma_0`` (largest singular value),
+    ``sigma_k1`` (the (k+1)-th largest, the paper's sigma_{k+1}), and
+    ``kappa`` = sigma_0 / sigma_{k+1}, the effective condition number
+    the paper reports (the ratio across the truncation point).
+    """
+    s = np.linalg.svd(a, compute_uv=False)
+    if k + 1 >= s.size:
+        raise ConfigurationError(
+            f"k = {k} too large for matrix with min dim {s.size}")
+    sigma0 = float(s[0])
+    sigmak1 = float(s[k + 1])
+    return {"sigma_0": sigma0, "sigma_k1": sigmak1,
+            "kappa": sigma0 / sigmak1 if sigmak1 > 0 else np.inf}

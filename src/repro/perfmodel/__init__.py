@@ -1,0 +1,41 @@
+"""Analytic performance model of Section 5 (Figure 5) and the derived
+Gflop/s estimates of Figure 10.
+"""
+
+from .costs import (
+    CostModel,
+    gaussian_sampling_cost,
+    fft_sampling_cost,
+    power_iteration_mult_cost,
+    power_iteration_orth_cost,
+    qrcp_sampled_cost,
+    qr_selected_cost,
+    random_sampling_total_cost,
+    qp3_cost,
+    caqp3_cost,
+    multi_gpu_scaling,
+)
+from .estimate import (
+    estimate_random_sampling_gflops,
+    estimate_qp3_gflops,
+    estimate_speedup,
+    estimated_gflops_sweep,
+)
+
+__all__ = [
+    "CostModel",
+    "gaussian_sampling_cost",
+    "fft_sampling_cost",
+    "power_iteration_mult_cost",
+    "power_iteration_orth_cost",
+    "qrcp_sampled_cost",
+    "qr_selected_cost",
+    "random_sampling_total_cost",
+    "qp3_cost",
+    "caqp3_cost",
+    "multi_gpu_scaling",
+    "estimate_random_sampling_gflops",
+    "estimate_qp3_gflops",
+    "estimate_speedup",
+    "estimated_gflops_sweep",
+]

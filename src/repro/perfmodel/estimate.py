@@ -1,0 +1,104 @@
+"""Estimated Gflop/s of random sampling vs truncated QP3 (Figure 10).
+
+Section 8 closes by estimating end-to-end performance from the kernel
+measurements alone — "this allows us to evaluate the performance of
+random sampling on a target computer before implementing the
+algorithm".  We do exactly that: combine the kernel rate models with
+the Figure 5 flop counts.
+
+The paper's convention: the *effective* Gflop/s of an algorithm is its
+useful flop count divided by its modeled run time, where QP3's useful
+flops are ``2 m n k`` (so its curve saturates just under 29 Gflop/s)
+and random sampling's are its own total ``~2 l m n (1 + 2q)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from ..gpu.kernels import KernelModel
+from ..gpu.specs import GPUSpec, KEPLER_K40C
+
+__all__ = [
+    "estimate_random_sampling_seconds",
+    "estimate_random_sampling_gflops",
+    "estimate_qp3_seconds",
+    "estimate_qp3_gflops",
+    "estimate_speedup",
+    "estimated_gflops_sweep",
+]
+
+
+def _model(spec: GPUSpec) -> KernelModel:
+    return KernelModel(spec)
+
+
+def estimate_random_sampling_seconds(m: int, n: int, l: int, k: int,
+                                     q: int,
+                                     spec: GPUSpec = KEPLER_K40C) -> float:
+    """Modeled end-to-end seconds of the fixed-rank algorithm."""
+    if not (0 < k <= l <= m):
+        raise ConfigurationError(f"need 0 < k <= l <= m, got k={k}, "
+                                 f"l={l}, m={m}")
+    km = _model(spec)
+    t = km.curand_seconds(l * m)                    # PRNG
+    t += km.gemm_seconds(l, n, m)                   # B = Omega A
+    for _ in range(q):                              # power iterations
+        t += km.cholqr_seconds(l, n, reorth=True)   # orth B
+        t += km.gemm_seconds(l, m, n)               # C = B A^T
+        t += km.cholqr_seconds(l, m, reorth=True)   # orth C
+        t += km.gemm_seconds(l, n, m)               # B = C A
+    t += km.qp3_seconds(l, n, k)                    # Step 2
+    t += km.cholqr_seconds(m, k, reorth=True)       # Step 3
+    t += km.trsm_seconds(k, max(1, n - k))          # T = R^-1 R_rest
+    t += km.trmm_seconds(k, n)                      # R = R_bar [I T]
+    return t
+
+
+def estimate_random_sampling_gflops(m: int, n: int, l: int, k: int, q: int,
+                                    spec: GPUSpec = KEPLER_K40C) -> float:
+    """Effective Gflop/s of random sampling (its flops / its time)."""
+    flops = 2.0 * l * m * n * (1 + 2 * q)
+    return flops / (estimate_random_sampling_seconds(m, n, l, k, q, spec)
+                    * 1e9)
+
+
+def estimate_qp3_seconds(m: int, n: int, k: int,
+                         spec: GPUSpec = KEPLER_K40C) -> float:
+    """Modeled seconds of the truncated QP3 baseline."""
+    return _model(spec).qp3_seconds(m, n, k)
+
+
+def estimate_qp3_gflops(m: int, n: int, k: int,
+                        spec: GPUSpec = KEPLER_K40C) -> float:
+    """Effective Gflop/s of QP3 on its ``2 m n k`` useful flops."""
+    flops = 2.0 * m * n * k
+    return flops / (estimate_qp3_seconds(m, n, k, spec) * 1e9)
+
+
+def estimate_speedup(m: int, n: int, l: int, k: int, q: int,
+                     spec: GPUSpec = KEPLER_K40C) -> float:
+    """Predicted run-time speedup of random sampling over QP3.
+
+    Section 8 derives this as (Gflop/s ratio) / (flop ratio); dividing
+    the modeled times directly is equivalent.
+    """
+    return (estimate_qp3_seconds(m, n, k, spec)
+            / estimate_random_sampling_seconds(m, n, l, k, q, spec))
+
+
+def estimated_gflops_sweep(ms: Sequence[int], n: int = 2500, l: int = 64,
+                           k: int = 54, qs: Sequence[int] = (0, 1),
+                           spec: GPUSpec = KEPLER_K40C
+                           ) -> Dict[str, List[float]]:
+    """The Figure 10 series: estimated Gflop/s over a row-count sweep.
+
+    Returns ``{"m": [...], "qp3": [...], "rs_q{q}": [...]}``.
+    """
+    out: Dict[str, List[float]] = {"m": [float(v) for v in ms]}
+    out["qp3"] = [estimate_qp3_gflops(m, n, k, spec) for m in ms]
+    for q in qs:
+        out[f"rs_q{q}"] = [
+            estimate_random_sampling_gflops(m, n, l, k, q, spec) for m in ms]
+    return out

@@ -1,0 +1,124 @@
+"""TSQR — communication-avoiding tall-skinny QR (extension).
+
+The paper's conclusion lists Communication-Avoiding QR (Demmel,
+Grigori, Hoemmen & Langou [5]) as the orthogonalization scheme being
+studied to replace CholQR for ill-conditioned inputs.  TSQR factors a
+tall-skinny ``m x n`` matrix on a binary reduction tree: each leaf
+factors its row block locally, pairs of ``R`` factors are stacked and
+re-factored up the tree, and the tree of small Q factors is unrolled to
+form the global ``Q``.  Unlike CholQR it is unconditionally stable
+(it is a reorganized Householder QR); unlike HHQR its critical path
+holds ``log2(P)`` small factorizations instead of ``n`` global
+synchronizations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .householder import householder_qr
+from .utils import as_2d_float
+
+__all__ = ["tsqr"]
+
+
+def _local_qr(block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Economy QR of one block via our Householder kernel."""
+    f = householder_qr(block)
+    kk = min(block.shape)
+    return f.q(), f.r()[:kk, :]
+
+
+def _split_rows(m: int, parts: int) -> List[slice]:
+    """Split ``m`` rows into ``parts`` nearly equal contiguous slices."""
+    bounds = np.linspace(0, m, parts + 1).astype(int)
+    return [slice(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(parts) if bounds[i + 1] > bounds[i]]
+
+
+def tsqr(a: np.ndarray, leaf_count: Optional[int] = None
+         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Communication-avoiding QR of a tall-skinny matrix ``A = QR``.
+
+    Parameters
+    ----------
+    a:
+        ``m x n`` with ``m >= n``.
+    leaf_count:
+        Number of leaf row-blocks (the virtual processor count).
+        Defaults to ``max(1, m // (4 n))`` rounded down to a power of
+        two so the reduction tree is complete.  Each leaf must have at
+        least ``n`` rows.
+
+    Returns
+    -------
+    (Q, R):
+        ``Q`` is ``m x n`` with orthonormal columns and ``R`` is
+        ``n x n`` upper triangular.
+    """
+    a = as_2d_float(a, "a")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"tsqr needs m >= n, got {a.shape}")
+    if leaf_count is None:
+        leaf_count = max(1, m // max(1, 4 * n))
+        # Round down to a power of two for a complete tree.
+        leaf_count = 1 << max(0, leaf_count.bit_length() - 1)
+    leaf_count = max(1, min(leaf_count, m // max(1, n)))
+    if leaf_count <= 1:
+        return _local_qr(a)
+
+    slices = _split_rows(m, leaf_count)
+    # --- leaf factorizations -------------------------------------------
+    qs: List[np.ndarray] = []
+    rs: List[np.ndarray] = []
+    for sl in slices:
+        q, r = _local_qr(a[sl, :])
+        qs.append(q)
+        rs.append(r)
+
+    # --- reduction tree: pairwise stack-and-refactor --------------------
+    # levels[d] holds, for every node at depth d, the small Q factor
+    # (2n x n, or n x n for an odd carry) used when unrolling.
+    tree_qs: List[List[Optional[np.ndarray]]] = []
+    current = rs
+    while len(current) > 1:
+        next_rs: List[np.ndarray] = []
+        level: List[Optional[np.ndarray]] = []
+        for i in range(0, len(current) - 1, 2):
+            stacked = np.vstack([current[i], current[i + 1]])
+            q, r = _local_qr(stacked)
+            level.append(q)
+            next_rs.append(r)
+        if len(current) % 2 == 1:
+            level.append(None)  # odd node carried up unchanged
+            next_rs.append(current[-1])
+        tree_qs.append(level)
+        current = next_rs
+    r_final = current[0]
+
+    # --- unroll the tree: propagate the top Q back to the leaves --------
+    # At the top the implicit Q factor is the identity (n x n).
+    factors: List[np.ndarray] = [np.eye(n)]
+    for level in reversed(tree_qs):
+        new_factors: List[np.ndarray] = []
+        fi = 0
+        for node_q in level:
+            top = factors[fi]
+            fi += 1
+            if node_q is None:
+                new_factors.append(top)
+                continue
+            prod = node_q @ top  # (rows_of_node x n)
+            half = node_q.shape[0] // 2
+            new_factors.append(prod[:half, :])
+            new_factors.append(prod[half:, :])
+        factors = new_factors
+
+    q_full = np.empty((m, n))
+    for sl, qleaf, fac in zip(slices, qs, factors):
+        q_full[sl, :] = qleaf @ fac
+    return q_full, r_final

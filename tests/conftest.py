@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for per-test random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tall_matrix(rng) -> np.ndarray:
+    """A generic well-conditioned tall-skinny matrix (200 x 30)."""
+    return rng.standard_normal((200, 30))
+
+
+@pytest.fixture
+def wide_matrix(rng) -> np.ndarray:
+    """A generic well-conditioned short-wide matrix (25 x 300)."""
+    return rng.standard_normal((25, 300))
+
+
+@pytest.fixture
+def lowrank_matrix(rng) -> np.ndarray:
+    """An exactly rank-12 matrix (300 x 80)."""
+    return (rng.standard_normal((300, 12))
+            @ rng.standard_normal((12, 80)))
+
+
+@pytest.fixture
+def decaying_matrix() -> np.ndarray:
+    """A 400 x 120 matrix with exponentially decaying spectrum
+    (sigma_i = 10^{-i/10}) and Haar singular vectors, seeded."""
+    from repro.matrices import exponent_matrix
+    return exponent_matrix(400, 120, seed=7)

@@ -1,0 +1,22 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_orthonormal_columns(q: np.ndarray, tol: float = 1e-10) -> None:
+    """Assert that Q^T Q = I to tolerance."""
+    g = q.T @ q
+    np.testing.assert_allclose(g, np.eye(q.shape[1]), atol=tol)
+
+
+def assert_orthonormal_rows(q: np.ndarray, tol: float = 1e-10) -> None:
+    """Assert that Q Q^T = I to tolerance."""
+    g = q @ q.T
+    np.testing.assert_allclose(g, np.eye(q.shape[0]), atol=tol)
+
+
+def assert_valid_permutation(perm: np.ndarray, n: int) -> None:
+    """Assert that ``perm`` is a permutation of range(n)."""
+    assert sorted(perm.tolist()) == list(range(n))

@@ -1,0 +1,101 @@
+"""Tests for the terminal figure renderer (repro.bench.ascii_plot)."""
+
+import pytest
+
+from repro.bench.ascii_plot import line_chart, stacked_bars
+from repro.errors import ConfigurationError
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]})
+        assert "a" in out          # legend
+        assert "o" in out          # glyph
+        assert "+" in out          # axis corner
+
+    def test_title_and_labels(self):
+        out = line_chart([1, 10], {"y": [5.0, 50.0]}, title="T",
+                         x_label="m")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "(m" in out
+
+    def test_extremes_on_axis_rows(self):
+        out = line_chart([0, 1], {"y": [2.0, 8.0]}, height=10)
+        assert "8" in out.splitlines()[0]      # top label
+        assert "2" in out.splitlines()[9]      # bottom label
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_chart([1, 2], {"a": [1, 2], "b": [2, 1],
+                                  "c": [1, 1]})
+        assert "o a" in out and "x b" in out and "+ c" in out
+
+    def test_log_axes(self):
+        out = line_chart([1, 10, 100], {"y": [1e-6, 1e-3, 1.0]},
+                         logx=True, logy=True)
+        assert "logx" in out and "logy" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"y": [0.0, 1.0]}, logy=True)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"y": [1.0]})
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([], {})
+
+    def test_constant_series_ok(self):
+        out = line_chart([1, 2, 3], {"y": [5.0, 5.0, 5.0]})
+        assert "o" in out
+
+
+class TestStackedBars:
+    def test_basic_render(self):
+        out = stacked_bars(["a", "b"],
+                           [{"x": 1.0, "y": 1.0}, {"x": 3.0}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a |")
+        assert "x=x" in lines[-1] and "y=y" in lines[-1]
+
+    def test_widths_proportional(self):
+        out = stacked_bars([1, 2], [{"p": 1.0}, {"p": 2.0}], width=40)
+        rows = out.splitlines()[:2]
+        w1 = rows[0].count("p")
+        w2 = rows[1].count("p")
+        assert w2 == pytest.approx(2 * w1, abs=1)
+
+    def test_reference_printed(self):
+        out = stacked_bars(["a"], [{"p": 1.0}], reference={"a": 9.0})
+        assert "ref" in out and "9" in out
+
+    def test_glyphs_unique_on_collision(self):
+        out = stacked_bars(["a"], [{"alpha": 1.0, "apple": 1.0}])
+        legend = out.splitlines()[-1]
+        glyphs = [tok.split("=")[0] for tok in legend.split()]
+        assert len(set(glyphs)) == len(glyphs)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            stacked_bars(["a"], [])
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ConfigurationError):
+            stacked_bars(["a"], [{"p": 0.0}])
+
+
+class TestCLIPlotFlag:
+    def test_plot_flag_adds_chart(self, capsys):
+        from repro.cli import main
+        assert main(["fig07", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "cholqr" in out
+        assert "log y" in out        # the chart title marker
+
+    def test_fig05_command(self, capsys):
+        from repro.cli import main
+        assert main(["fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "flops/word" in out and "CAQP3" in out

@@ -1,0 +1,179 @@
+"""Tests for the figure drivers (repro.bench.figures) at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import (FixedRankTiming, qp3_baseline_seconds,
+                                 scale_rows, timed_fixed_rank)
+
+
+class TestHarness:
+    def test_timed_fixed_rank_fields(self):
+        t = timed_fixed_rank(10_000, 1_000, k=20, p=4, q=1)
+        assert isinstance(t, FixedRankTiming)
+        assert t.total > 0
+        assert t.sample_size == 24
+        assert 0 < t.step1_fraction < 1
+
+    def test_multi_gpu_option(self):
+        t = timed_fixed_rank(60_000, 1_000, ng=3)
+        assert t.ng == 3
+        assert "comms" in t.breakdown
+
+    def test_qp3_baseline_positive(self):
+        assert qp3_baseline_seconds(10_000, 1_000) > 0
+
+    def test_scale_rows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert scale_rows(500_000, 5_000) == 5_000
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert scale_rows(500_000, 5_000) == 500_000
+
+
+class TestNumericsFigures:
+    def test_table1_rows(self):
+        rows = figures.table1_matrices(m=400, n=120, k=50)
+        assert {r["name"] for r in rows} == {"power", "exponent", "hapmap"}
+        for r in rows:
+            assert r["sigma_0"] > r["sigma_k1"] > 0
+            assert r["kappa"] > 1
+
+    def test_table1_kappa_ordering(self):
+        """Table 1: hapmap's effective kappa is orders of magnitude
+        below the synthetic matrices'."""
+        rows = {r["name"]: r for r in figures.table1_matrices(m=400,
+                                                              n=120)}
+        assert rows["hapmap"]["kappa"] < 0.01 * rows["power"]["kappa"]
+        assert rows["hapmap"]["kappa"] < 0.01 * rows["exponent"]["kappa"]
+
+    def test_fig06_error_structure(self):
+        rows = figures.fig06_accuracy(m=1_200, n=200, k=40,
+                                      matrices=("exponent",),
+                                      include_p0=True, include_fft=True)
+        r = rows[0]
+        # q=0 within one order of QP3; q>=1 at par (Fig 6 + Sec 7).
+        assert r["q0"] < 10 * r["qp3"]
+        assert r["q1"] < 2.5 * r["qp3"]
+        assert r["q2"] <= r["q1"] * 1.2
+        assert r["q0_p0"] > r["q0"]          # p=0 is worse
+        assert r["q0_fft"] < 10 * r["qp3"]   # FFT same error order
+
+    def test_fig06_hapmap_large_error(self):
+        """Fig 6: hapmap's rank-50 error is O(1) (0.6-1.0), unlike the
+        synthetic matrices' ~1e-5."""
+        rows = figures.fig06_accuracy(m=1_500, n=200, k=40,
+                                      matrices=("hapmap", "exponent"),
+                                      qs=(0,))
+        r = {row["name"]: row for row in rows}
+        assert r["hapmap"]["q0"] > 0.3
+        assert r["exponent"]["q0"] < 1e-3
+
+
+class TestKernelFigures:
+    def test_fig07_ordering(self):
+        data = figures.fig07_tallskinny_qr()
+        for i in range(len(data["m"])):
+            assert (data["cholqr"][i] > data["cgs"][i] > data["hhqr"][i]
+                    > data["mgs"][i] > data["qp3"][i])
+
+    def test_fig08_row_crossover(self):
+        data = figures.fig08_sampling_kernels()
+        gemm = np.array(data["gemm"])
+        fft_eff = np.array(data["fft_effective"])
+        ls = np.array(data["l"])
+        # FFT effective beats GEMM somewhere in the upper range.
+        wins = ls[fft_eff > gemm]
+        assert wins.size > 0 and wins.min() >= 128
+
+    def test_fig08_gemm_below_peaks(self):
+        data = figures.fig08_sampling_kernels()
+        for g, pc in zip(data["gemm"], data["peak_compute"]):
+            assert g < pc
+
+    def test_fig09_speedup_band(self):
+        data = figures.fig09_shortwide_qr()
+        ratios = np.array(data["cholqr"]) / np.array(data["hhqr"])
+        assert ratios.max() > 60
+        assert ratios.max() < 130
+
+    def test_fig10_shapes(self):
+        data = figures.fig10_estimated_gflops(ms=(10_000, 50_000))
+        assert data["qp3"][1] < 30
+        assert data["rs_q1"][1] > 400
+
+    def test_fig18_monotone_anchors(self):
+        data = figures.fig18_gemm_small_l()
+        rates = data["gemm_gflops"]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert rates[0] == pytest.approx(123.3, rel=0.15)
+        assert rates[-1] == pytest.approx(778.5, rel=0.15)
+
+
+class TestTimingFigures:
+    def test_fig11_speedup_band(self):
+        pts = figures.fig11_time_vs_rows()
+        best = max(p["speedup"] for p in pts)
+        assert 4.0 < best < 9.0  # q=1: paper up to 6.6x
+        # Step 1 dominates at large m (Sec 9: 78 %).
+        assert pts[-1]["step1_fraction"] > 0.6
+
+    def test_fig11_q0_speedup_band(self):
+        pts = figures.fig11_time_vs_rows(q=0)
+        best = max(p["speedup"] for p in pts)
+        assert 9.0 < best < 16.0  # paper: up to 12.8x
+
+    def test_fig11_time_linear_in_m(self):
+        pts = figures.fig11_time_vs_rows(ms=(10_000, 20_000, 40_000))
+        t = [p["total"] for p in pts]
+        # Roughly linear: doubling m should not quite double the total
+        # (fixed QRCP cost), but stay within [1.3, 2.1]x.
+        assert 1.3 < t[1] / t[0] < 2.1
+        assert 1.3 < t[2] / t[1] < 2.1
+
+    def test_fig12_qp3_grows_faster(self):
+        pts = figures.fig12_time_vs_cols(ns=(500, 5_000))
+        qp3_growth = pts[1]["qp3"] / pts[0]["qp3"]
+        rs_growth = pts[1]["total"] / pts[0]["total"]
+        assert qp3_growth > rs_growth
+
+    def test_fig13_sampling_wins_across_l(self):
+        pts = figures.fig13_time_vs_rank(ls=(32, 128, 512))
+        assert all(p["speedup"] > 1 for p in pts)
+
+    def test_fig14_q12_still_wins(self):
+        """Fig 14: random sampling beats QP3 for q up to 12."""
+        data = figures.fig14_time_vs_iterations(ms=(50_000,),
+                                                qs=(0, 6, 12))
+        assert data["q12"][0] < data["qp3"][0]
+        assert data["q0"][0] < data["q6"][0] < data["q12"][0]
+
+    def test_fig15_shape(self):
+        pts = figures.fig15_multigpu_scaling()
+        assert [p["ng"] for p in pts] == [1, 2, 3]
+        assert pts[0]["speedup"] == 1.0
+        assert 2.0 < pts[1]["speedup"] < 3.2
+        assert 3.2 < pts[2]["speedup"] < 4.8
+        assert 0 < pts[1]["comms_fraction"] < pts[2]["comms_fraction"] < 0.1
+
+
+class TestAdaptiveFigures:
+    def test_fig16_structure(self):
+        runs = figures.fig16_adaptive_convergence(l_incs=(8, 16),
+                                                  tolerance=1e-8,
+                                                  m=1_200, n=200)
+        assert len(runs) == 2
+        for run in runs:
+            assert run["converged"]
+            assert run["estimates"][-1] <= 1e-8
+            # Estimate pessimistic vs actual (Fig 16's dashed line).
+            for est, act in zip(run["estimates"], run["actual_errors"]):
+                assert est > 0.1 * act
+
+    def test_fig17_interpolation_runs(self):
+        runs = figures.fig17_adaptive_time(l_incs=(8,), tolerance=1e-8,
+                                           m=1_200, n=200)
+        rules = {r["rule"] for r in runs}
+        assert rules == {"static", "interpolate"}
+        for r in runs:
+            assert r["total_seconds"] > 0

@@ -1,0 +1,93 @@
+"""Tests for the clustering-quality measures (repro.core.clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig
+from repro.core.clustering import (cluster_columns, clustering_accuracy,
+                                   embed_columns,
+                                   population_recovery_score)
+from repro.errors import ShapeError
+from repro.matrices.hapmap_like import hapmap_like_matrix
+
+
+class TestClusteringAccuracy:
+    def test_identical_labels(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert clustering_accuracy(labels, labels) == 1.0
+
+    def test_permuted_labels_perfect(self):
+        true = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])
+        assert clustering_accuracy(true, pred) == 1.0
+
+    def test_partial_agreement(self):
+        true = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 0, 1, 1, 1, 1])
+        assert clustering_accuracy(true, pred) == pytest.approx(5 / 6)
+
+    def test_many_clusters_hungarian(self):
+        # 12 clusters would need 479M permutations; Hungarian handles it.
+        rng = np.random.default_rng(0)
+        true = np.repeat(np.arange(12), 10)
+        mapping = rng.permutation(12)
+        pred = mapping[true]
+        assert clustering_accuracy(true, pred) == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            clustering_accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestEmbedding:
+    def test_shape(self, rng):
+        a = rng.standard_normal((300, 40))
+        coords = embed_columns(a, rank=5)
+        assert coords.shape == (40, 5)
+
+    def test_centering_removes_mean_component(self, rng):
+        base = rng.standard_normal(200)
+        a = np.tile(base[:, None], (1, 30)) \
+            + 0.01 * rng.standard_normal((200, 30))
+        coords = embed_columns(a, rank=2, center=True)
+        # After centering the shared mean direction carries ~no energy.
+        assert np.linalg.norm(coords) < 10
+
+    def test_1d_raises(self):
+        with pytest.raises(ShapeError):
+            embed_columns(np.zeros(5), rank=2)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return hapmap_like_matrix(5_000, 120, seed=3, return_panel=True)
+
+    def test_population_recovery_with_power(self, panel):
+        score = population_recovery_score(
+            panel.genotypes, panel.labels, rank=6,
+            config=SamplingConfig(rank=6, power_iterations=2, seed=4))
+        assert score > 0.9
+
+    def test_power_iterations_help_recovery(self, panel):
+        s0 = population_recovery_score(
+            panel.genotypes, panel.labels, rank=6,
+            config=SamplingConfig(rank=6, power_iterations=0, seed=4))
+        s2 = population_recovery_score(
+            panel.genotypes, panel.labels, rank=6,
+            config=SamplingConfig(rank=6, power_iterations=2, seed=4))
+        assert s2 >= s0
+
+    def test_cluster_columns_labels(self, panel):
+        labels = cluster_columns(panel.genotypes, n_clusters=4, rank=6)
+        assert labels.shape == (120,)
+        assert set(labels.tolist()).issubset({0, 1, 2, 3})
+
+    def test_too_few_clusters_raises(self, panel):
+        with pytest.raises(ShapeError):
+            cluster_columns(panel.genotypes, n_clusters=1, rank=4)
+
+    def test_label_length_mismatch_raises(self, panel):
+        with pytest.raises(ShapeError):
+            population_recovery_score(panel.genotypes, np.zeros(7),
+                                      rank=4)

@@ -1,0 +1,122 @@
+"""Tests for the Figure 5 cost models (repro.perfmodel.costs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.costs import (CostModel, caqp3_cost, fft_sampling_cost,
+                                   gaussian_sampling_cost,
+                                   multi_gpu_scaling,
+                                   power_iteration_mult_cost,
+                                   power_iteration_orth_cost, qp3_cost,
+                                   qr_selected_cost, qrcp_sampled_cost,
+                                   random_sampling_total_cost)
+
+
+class TestCostModelAlgebra:
+    def test_add(self):
+        c = CostModel(1.0, 2.0) + CostModel(3.0, 4.0)
+        assert c.flops == 4.0 and c.words == 6.0
+
+    def test_scale(self):
+        c = 2 * CostModel(1.0, 2.0)
+        assert c.flops == 2.0 and c.words == 4.0
+
+    def test_intensity(self):
+        assert CostModel(10.0, 2.0).intensity() == 5.0
+        assert CostModel(10.0, 0.0).intensity() == float("inf")
+
+
+class TestLeadingOrders:
+    M, N, L, K, Q = 50_000, 2_500, 64, 54, 2
+
+    def test_gaussian_sampling_2lmn(self):
+        c = gaussian_sampling_cost(self.M, self.N, self.L)
+        assert c.flops == pytest.approx(2 * self.L * self.M * self.N,
+                                        rel=1e-12)
+
+    def test_mult_cost_4lmnq(self):
+        c = power_iteration_mult_cost(self.M, self.N, self.L, self.Q)
+        assert c.flops == pytest.approx(4 * self.L * self.M * self.N
+                                        * self.Q)
+
+    def test_orth_cost_quadratic_in_l(self):
+        c1 = power_iteration_orth_cost(self.M, self.N, 32, 1)
+        c2 = power_iteration_orth_cost(self.M, self.N, 64, 1)
+        assert c2.flops == pytest.approx(4 * c1.flops, rel=0.05)
+
+    def test_orth_reorth_doubles(self):
+        c1 = power_iteration_orth_cost(self.M, self.N, self.L, 1,
+                                       reorth=False)
+        c2 = power_iteration_orth_cost(self.M, self.N, self.L, 1,
+                                       reorth=True)
+        assert c2.flops == pytest.approx(2 * c1.flops)
+
+    def test_total_matches_figure5_leading_term(self):
+        """Fig 5 Total row: O(l m n (1 + 2q)) flops."""
+        c = random_sampling_total_cost(self.M, self.N, self.L, self.K,
+                                       self.Q)
+        lead = 2.0 * self.L * self.M * self.N * (1 + 2 * self.Q)
+        assert c.flops == pytest.approx(lead, rel=0.1)
+
+    def test_total_words_communication_optimal(self):
+        """Fig 5: words ~ flops / sqrt(M_fast)."""
+        c = random_sampling_total_cost(self.M, self.N, self.L, self.K,
+                                       self.Q)
+        assert c.intensity() > 50  # far above the BLAS-2 intensity ~1
+
+    def test_qp3_flops_4mnk(self):
+        c = qp3_cost(self.M, self.N, self.K)
+        assert c.flops == pytest.approx(4 * self.M * self.N * self.K,
+                                        rel=0.05)
+
+    def test_qp3_words_not_reduced_by_blocking(self):
+        """QP3's intensity stays O(k_panel) — far below the sampling
+        algorithm's O(sqrt(M_fast))."""
+        c = qp3_cost(self.M, self.N, self.K)
+        total = random_sampling_total_cost(self.M, self.N, self.L,
+                                           self.K, 1)
+        assert c.intensity() < total.intensity() / 3
+
+    def test_fft_full_vs_pruned(self):
+        full = fft_sampling_cost(self.M, self.N, self.L, pruned=False)
+        pruned = fft_sampling_cost(self.M, self.N, self.L, pruned=True)
+        # Fig 5 / Sec 4: pruned saves only O(log(m)/log(l)).
+        assert pruned.flops < full.flops
+        assert pruned.flops > full.flops / 5
+
+    def test_caqp3_flops(self):
+        c = caqp3_cost(1000, 500)
+        assert c.flops == pytest.approx(1000 * 500 * 1500)
+
+    def test_qrcp_sampled_marginal(self):
+        """Sec 3: the QRCP of B is marginal next to the sampling."""
+        sampled = qrcp_sampled_cost(self.N, self.L, self.K)
+        total = random_sampling_total_cost(self.M, self.N, self.L, self.K,
+                                           0)
+        assert sampled.flops < 0.01 * total.flops
+
+    def test_qr_selected_cost(self):
+        c = qr_selected_cost(self.M, self.K)
+        assert c.flops == pytest.approx(2 * self.M * self.K ** 2, rel=0.1)
+
+
+class TestMultiGPU:
+    def test_scaling_divides(self):
+        c = gaussian_sampling_cost(10_000, 100, 8)
+        c3 = multi_gpu_scaling(c, 3)
+        assert c3.flops == pytest.approx(c.flops / 3)
+        assert c3.words == pytest.approx(c.words / 3)
+
+    def test_bad_ng_raises(self):
+        with pytest.raises(ConfigurationError):
+            multi_gpu_scaling(CostModel(1, 1), 0)
+
+
+class TestValidation:
+    def test_bad_dims_raise(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_sampling_cost(0, 10, 2)
+        with pytest.raises(ConfigurationError):
+            qp3_cost(10, 10, -1)
+        with pytest.raises(ConfigurationError):
+            random_sampling_total_cost(10, 10, 2, 2, 0, sampler="bogus")

@@ -1,0 +1,59 @@
+"""Tests for the Figure 10 performance estimator
+(repro.perfmodel.estimate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.estimate import (estimate_qp3_gflops,
+                                      estimate_qp3_seconds,
+                                      estimate_random_sampling_gflops,
+                                      estimate_random_sampling_seconds,
+                                      estimate_speedup,
+                                      estimated_gflops_sweep)
+
+
+class TestEstimates:
+    def test_qp3_under_29_gflops(self):
+        """Fig 10: 'its performance was limited under 29 Gflop/s'."""
+        for m in (10_000, 30_000, 50_000):
+            assert estimate_qp3_gflops(m, 2_500, 54) < 29.5
+
+    def test_sampling_reaches_hundreds(self):
+        """Fig 10: ~676 Gflop/s for q=1 and ~489 for q=0 at m=50k."""
+        g1 = estimate_random_sampling_gflops(50_000, 2_500, 64, 54, 1)
+        g0 = estimate_random_sampling_gflops(50_000, 2_500, 64, 54, 0)
+        assert g1 == pytest.approx(676.0, rel=0.25)
+        assert g0 == pytest.approx(489.0, rel=0.25)
+        assert g1 > g0
+
+    def test_predicted_speedups_match_section8(self):
+        """Sec 8: expected speedups ~6.7x (q=1) and ~14.3x (q=0)."""
+        s1 = estimate_speedup(50_000, 2_500, 64, 54, 1)
+        s0 = estimate_speedup(50_000, 2_500, 64, 54, 0)
+        assert 4.0 < s1 < 9.0
+        assert 9.0 < s0 < 18.0
+
+    def test_seconds_increase_with_m(self):
+        ts = [estimate_random_sampling_seconds(m, 2_500, 64, 54, 1)
+              for m in (10_000, 20_000, 40_000)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_seconds_increase_with_q(self):
+        ts = [estimate_random_sampling_seconds(50_000, 2_500, 64, 54, q)
+              for q in (0, 1, 2, 4)]
+        assert all(a < b for a, b in zip(ts, ts[1:]))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            estimate_random_sampling_seconds(100, 100, 64, 70, 0)  # k > l
+
+
+class TestSweep:
+    def test_series_keys_and_lengths(self):
+        data = estimated_gflops_sweep([10_000, 20_000])
+        assert set(data) == {"m", "qp3", "rs_q0", "rs_q1"}
+        assert all(len(v) == 2 for v in data.values())
+
+    def test_gflops_grow_with_m(self):
+        data = estimated_gflops_sweep([5_000, 50_000])
+        assert data["rs_q1"][1] > data["rs_q1"][0]

@@ -1,0 +1,93 @@
+"""Tests for the eq. (4) probabilistic bounds (repro.core.estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.config import AdaptiveConfig
+from repro.core.adaptive import adaptive_sampling
+from repro.core.estimator import (bound_constant, certified_bound,
+                                  estimate_quality_factor,
+                                  failure_probability)
+from repro.errors import ConfigurationError
+from repro.matrices.synthetic import exponent_matrix
+
+
+class TestFailureProbability:
+    def test_formula(self):
+        # min(m,n) * c^{-l}
+        assert failure_probability(2.0, 10, 1000, 500) == pytest.approx(
+            500 * 2.0 ** -10)
+
+    def test_clamped_to_one(self):
+        assert failure_probability(1.001, 1, 10 ** 6, 10 ** 6) == 1.0
+
+    def test_decreases_with_l_inc(self):
+        # c_ad = 4 keeps the l_inc = 8 point below the clamp.
+        ps = [failure_probability(4.0, l, 50_000, 2_500)
+              for l in (8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(ps, ps[1:]))
+        assert ps[0] < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            failure_probability(1.0, 8, 10, 10)
+        with pytest.raises(ConfigurationError):
+            failure_probability(2.0, 0, 10, 10)
+
+
+class TestBoundConstant:
+    def test_inverse_of_failure_probability(self):
+        c = bound_constant(1e-6, 16, 50_000, 2_500)
+        assert failure_probability(c, 16, 50_000, 2_500) == pytest.approx(
+            1e-6, rel=1e-9)
+
+    def test_larger_l_inc_less_pessimistic(self):
+        """Section 10: 'a larger value of the parameter l_inc decreases
+        the constant c_ad'."""
+        cs = [bound_constant(1e-6, l, 50_000, 2_500)
+              for l in (8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(cs, cs[1:]))
+        assert cs[0] > 10      # very pessimistic at l_inc = 8
+        assert cs[-1] < 2      # near-tight at l_inc = 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bound_constant(0.0, 8, 10, 10)
+        with pytest.raises(ConfigurationError):
+            bound_constant(1.5, 8, 10, 10)
+
+
+class TestCertifiedBound:
+    def test_scales_estimate(self):
+        bound, c = certified_bound(1e-8, 32, 50_000, 2_500)
+        assert bound == pytest.approx(c * np.sqrt(2 / np.pi) * 1e-8)
+        assert c > 1
+
+    def test_zero_estimate(self):
+        bound, _ = certified_bound(0.0, 8, 100, 100)
+        assert bound == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            certified_bound(-1.0, 8, 10, 10)
+
+    def test_holds_empirically(self):
+        """The certified bound must dominate the actual error on real
+        adaptive runs (it is a high-probability upper bound)."""
+        a = exponent_matrix(1_000, 300, seed=0)
+        for inc in (8, 32):
+            res = adaptive_sampling(
+                a, AdaptiveConfig(tolerance=1e-8, l_init=inc, l_inc=inc,
+                                  seed=1))
+            eps = res.steps[-1].error_estimate
+            bound, _ = certified_bound(eps, inc, 1_000, 300,
+                                       gamma=1e-6)
+            assert res.actual_error(a) <= bound
+
+
+class TestQualityFactor:
+    def test_section10_scale(self):
+        f8 = estimate_quality_factor(8, 50_000, 2_500)
+        f64 = estimate_quality_factor(64, 50_000, 2_500)
+        assert f8 > 10 * f64
+        assert f64 < 2

@@ -1,0 +1,86 @@
+"""Smoke tests for the examples and the documentation.
+
+- The simulated-device examples run end to end (they finish in well
+  under a second each); the numerics-heavy ones are import-checked.
+- Docstring examples in the public modules execute (doctest).
+- The documentation files reference things that exist.
+"""
+
+import doctest
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+DOCS = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_example(name: str):
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(name,
+                                                  EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", ["gpu_performance_tour",
+                                      "multigpu_scaling",
+                                      "cluster_projection"])
+    def test_runs(self, name, capsys):
+        mod = _load_example(name)
+        mod.main()
+        out = capsys.readouterr().out
+        assert len(out) > 200  # produced its report
+
+
+class TestHeavyExamplesImportable:
+    @pytest.mark.parametrize("name", ["quickstart", "hapmap_clustering",
+                                      "fixed_accuracy", "hss_solver"])
+    def test_has_main(self, name):
+        mod = _load_example(name)
+        assert callable(mod.main)
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", [
+        "repro.core.random_sampling",
+        "repro.core.svd",
+        "repro.core.cur",
+        "repro.hss.hodlr",
+    ])
+    def test_module_doctests(self, module_name):
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module)
+        assert result.attempted > 0, f"{module_name} lost its doctests"
+        assert result.failed == 0
+
+
+class TestDocsConsistency:
+    def test_design_lists_every_bench(self):
+        design = (DOCS / "DESIGN.md").read_text()
+        benches = sorted((DOCS / "benchmarks").glob("test_*.py"))
+        missing = [b.name for b in benches if b.name not in design]
+        assert not missing, f"DESIGN.md does not index: {missing}"
+
+    def test_experiments_covers_every_figure(self):
+        experiments = (DOCS / "EXPERIMENTS.md").read_text()
+        for fig in ["Table 1"] + [f"Figure {i}" for i in range(5, 19)]:
+            assert fig in experiments, fig
+
+    def test_readme_examples_exist(self):
+        readme = (DOCS / "README.md").read_text()
+        for line in readme.splitlines():
+            if "examples/" in line and ".py" in line:
+                name = line.split("examples/")[1].split(".py")[0]
+                assert (EXAMPLES / f"{name}.py").exists(), name
+
+    def test_calibration_doc_constants_match(self):
+        from repro.gpu.specs import KEPLER_K40C
+        calib = (DOCS / "docs" / "calibration.md").read_text()
+        assert str(int(KEPLER_K40C.dgemm_peak_gflops)) in calib
+        assert "1.58" in calib  # iter_gemm_efficiency
+        assert f"{KEPLER_K40C.gemm_bw_cap_gbs}" in calib

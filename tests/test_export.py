@@ -1,0 +1,72 @@
+"""Tests for the JSON export (repro.bench.export) and its CLI flag."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import collect_experiment, dump_json, to_jsonable
+from repro.errors import ConfigurationError
+
+
+class TestToJsonable:
+    def test_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_array(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested(self):
+        data = {"a": [np.float32(1.0), (2, np.int8(3))],
+                "b": {"c": np.zeros(2)}}
+        out = to_jsonable(data)
+        json.dumps(out)  # round-trips
+        assert out["a"][1] == [2, 3]
+
+    def test_unserializable_raises(self):
+        with pytest.raises(ConfigurationError):
+            to_jsonable(object())
+
+
+class TestDump:
+    def test_dump_and_reload(self, tmp_path):
+        path = tmp_path / "out.json"
+        dump_json({"x": np.float64(2.0)}, str(path), "exp")
+        doc = json.loads(path.read_text())
+        assert doc == {"experiment": "exp", "data": {"x": 2.0}}
+
+
+class TestCollect:
+    @pytest.mark.parametrize("name", ["fig07", "fig09", "fig10", "fig18"])
+    def test_fast_experiments_collect_and_serialize(self, name):
+        data = collect_experiment(name)
+        json.dumps(to_jsonable(data))
+
+    def test_fig11_points_serialize(self):
+        data = collect_experiment("fig11")
+        out = to_jsonable(data)
+        json.dumps(out)
+        assert out[0]["breakdown"]["sampling"] > 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            collect_experiment("fig99")
+
+
+class TestCLIJson:
+    def test_flag_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "f.json"
+        assert main(["fig18", "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["experiment"] == "fig18"
+        assert len(doc["data"]["gemm_gflops"]) == 5
+
+    def test_all_with_json_rejected(self, tmp_path):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["all", "--json", str(tmp_path / "x.json")])

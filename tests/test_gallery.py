@@ -1,0 +1,109 @@
+"""Tests for the hard-matrix gallery and algorithm robustness on it."""
+
+import numpy as np
+import pytest
+
+from repro import SamplingConfig, random_sampling
+from repro.errors import ShapeError
+from repro.matrices.gallery import (devil_stairs, gap_spectrum_matrix,
+                                    kahan_matrix, noisy_lowrank,
+                                    slow_polynomial_decay)
+from repro.qr.caqp3 import caqp3
+from repro.qr.qrcp import qp3_blocked
+
+
+class TestGenerators:
+    def test_kahan_structure(self):
+        k = kahan_matrix(20)
+        np.testing.assert_allclose(k, np.triu(k))
+        # Equal column norms after scaling is the defining trap; check
+        # they are within a modest band.
+        norms = np.linalg.norm(k, axis=0)
+        assert norms.max() / norms.min() < 3
+
+    def test_kahan_tiny_smallest_sv(self):
+        k = kahan_matrix(40)
+        s = np.linalg.svd(k, compute_uv=False)
+        assert s[-1] < 1e-4 * s[0]
+
+    def test_kahan_validation(self):
+        with pytest.raises(ShapeError):
+            kahan_matrix(0)
+        with pytest.raises(ShapeError):
+            kahan_matrix(5, theta=0.0)
+
+    def test_devil_stairs_plateaus(self):
+        a = devil_stairs(120, 60, steps=4, drop=10.0, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        # Four distinct levels, each ~10x apart.
+        assert s[0] / s[-1] == pytest.approx(1e3, rel=0.2)
+        assert s[0] == pytest.approx(s[10], rel=1e-6)  # same plateau
+
+    def test_gap_spectrum(self):
+        a = gap_spectrum_matrix(100, 50, rank=12, gap=1e5, seed=1)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[11] / s[12] == pytest.approx(1e5, rel=1e-3)
+
+    def test_gap_validation(self):
+        with pytest.raises(ShapeError):
+            gap_spectrum_matrix(10, 10, rank=10)
+
+    def test_noisy_lowrank_spectrum(self):
+        a = noisy_lowrank(400, 100, rank=10, snr=1e4, seed=2)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[9] > 0.5            # signal plateau
+        assert s[10] < 5e-4          # noise floor ~1/snr
+
+    def test_slow_decay_heavy_tail(self):
+        a = slow_polynomial_decay(200, 100, alpha=0.3, seed=3)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[50] > 0.2 * s[0]    # barely decays
+
+
+class TestRobustness:
+    """The algorithms on the adversarial gallery."""
+
+    def test_kahan_qrcp_rank_revelation_failure(self):
+        """The classic Kahan failure: QRCP's trailing diagonal entry
+        |R_nn| overestimates sigma_min by a large factor (no pivoting
+        triggers, so the tiny singular value stays hidden), while the
+        truncated *residuals* of both algorithms remain near-optimal."""
+        k = kahan_matrix(40)
+        s = np.linalg.svd(k, compute_uv=False)
+        res = qp3_blocked(k)
+        assert abs(res.r[-1, -1]) > 20 * s[-1]  # the trap (we see ~60x)
+        rank = 25
+        det = qp3_blocked(k, k=rank)
+        rnd = random_sampling(k, SamplingConfig(rank=rank, oversampling=6,
+                                                power_iterations=2,
+                                                seed=0))
+        assert rnd.residual(k, relative=False) < 20 * s[rank]
+        assert det.residual(k, relative=False) < 20 * s[rank]
+
+    def test_gap_detected_by_all(self):
+        a = gap_spectrum_matrix(300, 80, rank=15, gap=1e6, seed=4)
+        for method in (lambda: qp3_blocked(a, k=15),
+                       lambda: caqp3(a, k=15)):
+            assert method().residual(a) < 1e-4
+        rnd = random_sampling(a, SamplingConfig(rank=15, seed=5))
+        assert rnd.residual(a) < 1e-4
+
+    def test_devil_stairs_rank_tracking(self):
+        a = devil_stairs(300, 100, steps=5, drop=100.0, seed=6)
+        res = qp3_blocked(a, tolerance=1e-3)
+        # Tolerance 1e-3 should cut within the second or third plateau
+        # (levels at 1, 1e-2, 1e-4).
+        assert 20 <= res.k <= 60
+
+    def test_noisy_lowrank_recovery(self):
+        a = noisy_lowrank(500, 120, rank=8, snr=1e3, seed=7)
+        f = random_sampling(a, SamplingConfig(rank=8, power_iterations=1,
+                                              seed=8))
+        assert f.residual(a, relative=False) < 5e-3  # ~noise floor
+
+    def test_slow_decay_needs_power_iterations(self):
+        a = slow_polynomial_decay(400, 120, alpha=0.4, seed=9)
+        e0 = random_sampling(a, SamplingConfig(rank=30, seed=10)).residual(a)
+        e2 = random_sampling(a, SamplingConfig(rank=30, power_iterations=2,
+                                               seed=10)).residual(a)
+        assert e2 < e0  # iterations visibly help in the flat regime

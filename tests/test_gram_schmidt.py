@@ -1,0 +1,172 @@
+"""Tests for CGS/MGS and the block orthogonalization
+(repro.qr.gram_schmidt)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.synthetic import spectrum_matrix
+from repro.qr.gram_schmidt import (block_orth_columns, block_orth_rows,
+                                   block_orth_rows_mixed, cgs, mgs)
+
+from tests.helpers import assert_orthonormal_columns
+
+
+@pytest.mark.parametrize("factorize", [cgs, mgs], ids=["cgs", "mgs"])
+class TestGramSchmidtCommon:
+    def test_reconstruction(self, factorize, tall_matrix):
+        q, r = factorize(tall_matrix)
+        np.testing.assert_allclose(q @ r, tall_matrix, atol=1e-10)
+
+    def test_orthonormal(self, factorize, tall_matrix):
+        q, _ = factorize(tall_matrix)
+        assert_orthonormal_columns(q)
+
+    def test_r_upper_triangular(self, factorize, tall_matrix):
+        _, r = factorize(tall_matrix)
+        np.testing.assert_allclose(r, np.triu(r))
+
+    def test_r_diag_positive(self, factorize, tall_matrix):
+        _, r = factorize(tall_matrix)
+        assert np.all(np.diag(r) > 0)
+
+    def test_wide_raises(self, factorize, wide_matrix):
+        with pytest.raises(ShapeError):
+            factorize(wide_matrix)
+
+    def test_dependent_column_raises(self, factorize, rng):
+        a = rng.standard_normal((40, 3))
+        a = np.hstack([a, a[:, :1]])
+        with pytest.raises(ShapeError):
+            factorize(a)
+
+    def test_reorthogonalized_reconstruction(self, factorize, tall_matrix):
+        q, r = factorize(tall_matrix, reorthogonalize=True)
+        np.testing.assert_allclose(q @ r, tall_matrix, atol=1e-9)
+        assert_orthonormal_columns(q, tol=1e-13)
+
+
+class TestNumericalContrast:
+    def test_mgs_beats_cgs_on_illconditioned(self):
+        # The classic result: CGS loses orthogonality like O(eps k^2),
+        # MGS like O(eps k).
+        a = spectrum_matrix(200, 30, 10.0 ** (-np.linspace(0, 7, 30)),
+                            seed=1)
+        qc, _ = cgs(a)
+        qm, _ = mgs(a)
+        dc = np.linalg.norm(qc.T @ qc - np.eye(30))
+        dm = np.linalg.norm(qm.T @ qm - np.eye(30))
+        assert dm < dc
+
+    def test_cgs2_restores_orthogonality(self):
+        a = spectrum_matrix(200, 30, 10.0 ** (-np.linspace(0, 7, 30)),
+                            seed=1)
+        q, _ = cgs(a, reorthogonalize=True)
+        assert_orthonormal_columns(q, tol=1e-13)
+
+
+class TestBlockOrthColumns:
+    def test_orthogonal_to_basis(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0]
+        v = rng.standard_normal((100, 5))
+        w, c = block_orth_columns(q, v)
+        np.testing.assert_allclose(q.T @ w, 0.0, atol=1e-12)
+
+    def test_decomposition_identity(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0]
+        v = rng.standard_normal((100, 5))
+        w, c = block_orth_columns(q, v)
+        np.testing.assert_allclose(q @ c + w, v, atol=1e-12)
+
+    def test_none_basis_passthrough(self, rng):
+        v = rng.standard_normal((50, 4))
+        w, c = block_orth_columns(None, v)
+        np.testing.assert_array_equal(w, v)
+        assert c.shape == (0, 4)
+
+    def test_returned_copy_not_view(self, rng):
+        v = rng.standard_normal((50, 4))
+        w, _ = block_orth_columns(None, v)
+        assert w is not v
+
+    def test_single_pass_vs_double(self, rng):
+        q = np.linalg.qr(rng.standard_normal((80, 20)))[0]
+        v = rng.standard_normal((80, 6)) * 1e-8 + q @ rng.standard_normal(
+            (20, 6))
+        w1, _ = block_orth_columns(q, v, reorthogonalize=False)
+        w2, _ = block_orth_columns(q, v, reorthogonalize=True)
+        r1 = np.linalg.norm(q.T @ w1) / max(np.linalg.norm(w1), 1e-300)
+        r2 = np.linalg.norm(q.T @ w2) / max(np.linalg.norm(w2), 1e-300)
+        assert r2 <= r1
+
+    def test_row_mismatch_raises(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0]
+        with pytest.raises(ShapeError):
+            block_orth_columns(q, rng.standard_normal((50, 3)))
+
+
+class TestBlockOrthRows:
+    def test_orthogonal_to_basis(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0].T  # 10 x 100
+        v = rng.standard_normal((5, 100))
+        w, c = block_orth_rows(q, v)
+        np.testing.assert_allclose(w @ q.T, 0.0, atol=1e-12)
+
+    def test_decomposition_identity(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0].T
+        v = rng.standard_normal((5, 100))
+        w, c = block_orth_rows(q, v)
+        np.testing.assert_allclose(c @ q + w, v, atol=1e-12)
+
+    def test_none_basis_passthrough(self, rng):
+        v = rng.standard_normal((4, 60))
+        w, c = block_orth_rows(None, v)
+        np.testing.assert_array_equal(w, v)
+        assert c.shape == (4, 0)
+
+    def test_column_mismatch_raises(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0].T
+        with pytest.raises(ShapeError):
+            block_orth_rows(q, rng.standard_normal((3, 50)))
+
+    def test_matches_column_variant_transposed(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0]
+        v = rng.standard_normal((100, 5))
+        wc, cc = block_orth_columns(q, v)
+        wr, cr = block_orth_rows(q.T, v.T)
+        np.testing.assert_allclose(wr, wc.T, atol=1e-12)
+        np.testing.assert_allclose(cr, cc.T, atol=1e-12)
+
+
+class TestBlockOrthRowsMixed:
+    """Mixed-precision BOrth (paper ref [21], Section 11)."""
+
+    def test_final_orthogonality_is_double(self, rng):
+        q = np.linalg.qr(rng.standard_normal((200, 12)))[0].T
+        v = rng.standard_normal((5, 200))
+        w, _ = block_orth_rows_mixed(q, v)
+        np.testing.assert_allclose(w @ q.T, 0.0, atol=1e-12)
+
+    def test_decomposition_identity_double(self, rng):
+        q = np.linalg.qr(rng.standard_normal((200, 12)))[0].T
+        v = rng.standard_normal((5, 200))
+        w, c = block_orth_rows_mixed(q, v)
+        np.testing.assert_allclose(c @ q + w, v, atol=1e-12)
+
+    def test_matches_full_precision_result(self, rng):
+        q = np.linalg.qr(rng.standard_normal((150, 8)))[0].T
+        v = rng.standard_normal((3, 150))
+        w_mixed, _ = block_orth_rows_mixed(q, v)
+        w_full, _ = block_orth_rows(q, v)
+        np.testing.assert_allclose(w_mixed, w_full, atol=1e-9)
+
+    def test_none_basis_passthrough(self, rng):
+        v = rng.standard_normal((3, 40))
+        w, c = block_orth_rows_mixed(None, v)
+        np.testing.assert_array_equal(w, v)
+        assert c.shape == (3, 0)
+
+    def test_mismatch_raises(self, rng):
+        q = np.linalg.qr(rng.standard_normal((100, 10)))[0].T
+        with pytest.raises(ShapeError):
+            block_orth_rows_mixed(q, rng.standard_normal((3, 50)))

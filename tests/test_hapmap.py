@@ -1,0 +1,91 @@
+"""Tests for the HapMap-like genotype generator
+(repro.matrices.hapmap_like)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.hapmap_like import (DEFAULT_POPULATIONS, HapmapPanel,
+                                        hapmap_like_matrix)
+
+
+@pytest.fixture(scope="module")
+def panel() -> HapmapPanel:
+    return hapmap_like_matrix(3000, 120, seed=0, return_panel=True)
+
+
+class TestGenerator:
+    def test_shape(self, panel):
+        assert panel.genotypes.shape == (3000, 120)
+        assert panel.shape == (3000, 120)
+
+    def test_values_are_allele_counts(self, panel):
+        assert set(np.unique(panel.genotypes)).issubset({0.0, 1.0, 2.0})
+
+    def test_labels_cover_all_populations(self, panel):
+        assert set(panel.labels.tolist()) == {0, 1, 2, 3}
+
+    def test_population_sizes_balanced(self, panel):
+        counts = np.bincount(panel.labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_population_names(self, panel):
+        assert panel.population_names == ("CEU", "GIH", "JPT", "YRI")
+
+    def test_frequencies_in_open_interval(self, panel):
+        assert np.all(panel.allele_frequencies > 0)
+        assert np.all(panel.allele_frequencies < 1)
+
+    def test_matrix_only_return(self):
+        a = hapmap_like_matrix(100, 20, seed=1)
+        assert isinstance(a, np.ndarray)
+        assert a.shape == (100, 20)
+
+    def test_seeded_reproducible(self):
+        a = hapmap_like_matrix(200, 30, seed=5)
+        b = hapmap_like_matrix(200, 30, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_custom_populations(self):
+        pops = (("A", 0.05), ("B", 0.3))
+        p = hapmap_like_matrix(500, 40, populations=pops, seed=2,
+                               return_panel=True)
+        assert p.population_names == ("A", "B")
+        assert set(p.labels.tolist()) == {0, 1}
+
+    def test_bad_fst_raises(self):
+        with pytest.raises(ShapeError):
+            hapmap_like_matrix(100, 20, populations=(("X", 1.5),))
+
+    def test_too_few_individuals_raises(self):
+        with pytest.raises(ShapeError):
+            hapmap_like_matrix(100, 2)
+
+    def test_bad_maf_range_raises(self):
+        with pytest.raises(ShapeError):
+            hapmap_like_matrix(100, 20, min_maf=0.4, max_maf=0.3)
+
+
+class TestSpectralStructure:
+    def test_slow_decay_like_paper(self, panel):
+        """Table 1's hapmap signature: tiny effective condition number
+        at the k = 50 truncation (kappa ~ 2e1 vs ~1e5 for the synthetic
+        matrices) because the genotype noise floor is high."""
+        a = panel.genotypes - panel.genotypes.mean(axis=1, keepdims=True)
+        s = np.linalg.svd(a, compute_uv=False)
+        kappa = s[0] / s[51]
+        assert kappa < 100.0
+
+    def test_population_structure_in_top_components(self, panel):
+        """The top right-singular vectors separate the populations:
+        between-population scatter should dominate within-population
+        scatter in the leading coordinates."""
+        a = panel.genotypes - panel.genotypes.mean(axis=1, keepdims=True)
+        _, _, vt = np.linalg.svd(a, full_matrices=False)
+        coords = vt[:3, :].T  # individuals x 3
+        centers = np.stack([coords[panel.labels == j].mean(axis=0)
+                            for j in range(4)])
+        within = np.mean([np.var(coords[panel.labels == j], axis=0).sum()
+                          for j in range(4)])
+        between = np.var(centers, axis=0).sum()
+        assert between > within

@@ -1,0 +1,165 @@
+"""Tests for the blocked Householder QR (repro.qr.householder)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.qr.householder import (HouseholderFactors, apply_q,
+                                  householder_qr, householder_vector)
+from repro.qr.utils import orthogonality_defect
+
+from tests.helpers import assert_orthonormal_columns
+
+
+class TestHouseholderVector:
+    def test_annihilates_below_first(self, rng):
+        x = rng.standard_normal(10)
+        v, tau, beta = householder_vector(x)
+        h = np.eye(10) - tau * np.outer(v, v)
+        y = h @ x
+        assert abs(y[0] - beta) < 1e-12
+        np.testing.assert_allclose(y[1:], 0.0, atol=1e-12)
+
+    def test_beta_is_norm(self, rng):
+        x = rng.standard_normal(7)
+        _, _, beta = householder_vector(x)
+        assert abs(abs(beta) - np.linalg.norm(x)) < 1e-12
+
+    def test_sign_opposes_leading_entry(self):
+        _, _, beta = householder_vector(np.array([3.0, 4.0]))
+        assert beta == -5.0
+        _, _, beta = householder_vector(np.array([-3.0, 4.0]))
+        assert beta == 5.0
+
+    def test_reflector_is_orthogonal(self, rng):
+        x = rng.standard_normal(6)
+        v, tau, _ = householder_vector(x)
+        h = np.eye(6) - tau * np.outer(v, v)
+        np.testing.assert_allclose(h @ h.T, np.eye(6), atol=1e-12)
+
+    def test_zero_tail_gives_identity(self):
+        v, tau, beta = householder_vector(np.array([2.5, 0.0, 0.0]))
+        assert tau == 0.0
+        assert beta == 2.5
+
+    def test_all_zero_input(self):
+        v, tau, beta = householder_vector(np.zeros(4))
+        assert tau == 0.0 and beta == 0.0
+
+    def test_length_one(self):
+        v, tau, beta = householder_vector(np.array([-1.5]))
+        assert tau == 0.0 and beta == -1.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            householder_vector(np.array([]))
+
+    def test_2d_raises(self):
+        with pytest.raises(ShapeError):
+            householder_vector(np.zeros((2, 2)))
+
+
+class TestHouseholderQR:
+    @pytest.mark.parametrize("shape", [(50, 10), (64, 64), (10, 50),
+                                       (128, 37), (7, 3), (1, 1)])
+    def test_reconstruction(self, rng, shape):
+        a = rng.standard_normal(shape)
+        f = householder_qr(a)
+        q, r = f.q(), f.r()
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    @pytest.mark.parametrize("shape", [(50, 10), (64, 64), (128, 37)])
+    def test_q_orthonormal(self, rng, shape):
+        a = rng.standard_normal(shape)
+        q = householder_qr(a).q()
+        assert_orthonormal_columns(q)
+
+    def test_r_upper_triangular(self, tall_matrix):
+        r = householder_qr(tall_matrix).r()
+        np.testing.assert_allclose(r, np.triu(r))
+
+    def test_matches_numpy_up_to_sign(self, tall_matrix):
+        f = householder_qr(tall_matrix)
+        q_np, r_np = np.linalg.qr(tall_matrix)
+        s = np.sign(np.diag(f.r())) * np.sign(np.diag(r_np))
+        np.testing.assert_allclose(f.q() * s, q_np, atol=1e-10)
+
+    @pytest.mark.parametrize("block_size", [1, 3, 8, 64, 1000])
+    def test_blocked_agrees_with_unblocked(self, rng, block_size):
+        a = rng.standard_normal((90, 40))
+        ref = householder_qr(a, block_size=1)
+        f = householder_qr(a, block_size=block_size)
+        np.testing.assert_allclose(f.r(), ref.r(), atol=1e-10)
+        np.testing.assert_allclose(f.q(), ref.q(), atol=1e-10)
+
+    def test_overwrite_reuses_buffer(self, rng):
+        a = rng.standard_normal((30, 10))
+        f = householder_qr(a, overwrite=True)
+        assert f.vt_store is a
+
+    def test_no_overwrite_by_default(self, rng):
+        a = rng.standard_normal((30, 10))
+        a0 = a.copy()
+        householder_qr(a)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_integer_input_upcast(self):
+        a = np.arange(12).reshape(4, 3)
+        f = householder_qr(a)
+        np.testing.assert_allclose(f.q() @ f.r(), a, atol=1e-10)
+
+    def test_rank_deficient_still_orthonormal(self, rng):
+        a = rng.standard_normal((60, 5)) @ rng.standard_normal((5, 20))
+        q = householder_qr(a).q()
+        assert_orthonormal_columns(q)
+
+    def test_full_q_columns(self, rng):
+        a = rng.standard_normal((20, 5))
+        q = householder_qr(a).q(columns=20)
+        assert q.shape == (20, 20)
+        np.testing.assert_allclose(q @ q.T, np.eye(20), atol=1e-10)
+
+    def test_too_many_q_columns_raises(self, rng):
+        f = householder_qr(rng.standard_normal((10, 4)))
+        with pytest.raises(ShapeError):
+            f.q(columns=11)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ShapeError):
+            householder_qr(np.zeros(5))
+
+
+class TestApplyQ:
+    def test_qt_q_is_identity_action(self, rng, tall_matrix):
+        f = householder_qr(tall_matrix)
+        c = rng.standard_normal((200, 6))
+        back = apply_q(f, apply_q(f, c, transpose=True))
+        np.testing.assert_allclose(back, c, atol=1e-10)
+
+    def test_matches_explicit_q(self, rng, tall_matrix):
+        f = householder_qr(tall_matrix)
+        c = rng.standard_normal((200, 4))
+        explicit = f.q(columns=200)
+        np.testing.assert_allclose(apply_q(f, c), explicit @ c, atol=1e-9)
+
+    def test_transpose_matches_explicit(self, rng, tall_matrix):
+        f = householder_qr(tall_matrix)
+        c = rng.standard_normal((200, 4))
+        explicit = f.q(columns=200)
+        np.testing.assert_allclose(apply_q(f, c, transpose=True),
+                                   explicit.T @ c, atol=1e-9)
+
+    def test_row_mismatch_raises(self, tall_matrix, rng):
+        f = householder_qr(tall_matrix)
+        with pytest.raises(ShapeError):
+            apply_q(f, rng.standard_normal((10, 3)))
+
+
+class TestFactorsDataclass:
+    def test_shape_property(self, tall_matrix):
+        f = householder_qr(tall_matrix)
+        assert f.shape == tall_matrix.shape
+
+    def test_defect_small(self, tall_matrix):
+        f = householder_qr(tall_matrix)
+        assert orthogonality_defect(f.q()) < 1e-12

@@ -1,0 +1,136 @@
+"""End-to-end integration scenarios across modules.
+
+Each test exercises a realistic pipeline the README advertises, wiring
+several subsystems together (matrices -> sampling -> factorization ->
+analysis, or symbolic device -> phase accounting -> report).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (AdaptiveConfig, GPUExecutor, MultiGPUExecutor,
+                   SamplingConfig, SymArray, adaptive_sampling,
+                   build_hodlr, cur_decomposition, qrcp, random_sampling,
+                   randomized_svd)
+from repro.bench.reporting import format_breakdown_table
+from repro.matrices import exponent_matrix, hapmap_like_matrix
+from repro.qr import tsqr
+
+
+class TestAccuracyPipeline:
+    """Figure 6 end-to-end on a fresh matrix instance."""
+
+    def test_qp3_vs_sampling_parity(self):
+        a = exponent_matrix(3_000, 400, seed=21)
+        det = qrcp(a, k=50)
+        rnd = random_sampling(a, SamplingConfig(rank=50,
+                                                power_iterations=1,
+                                                seed=22))
+        assert rnd.residual(a) < 2 * det.residual(a)
+        # Both approximations reconstruct A to their common error level.
+        assert np.linalg.norm(rnd.approximation() - a, 2) < 1e-3
+
+    def test_three_factorizations_agree_on_quality(self):
+        a = exponent_matrix(2_000, 300, seed=23)
+        cfg = SamplingConfig(rank=40, power_iterations=1, seed=24)
+        e_qr = random_sampling(a, cfg).residual(a)
+        e_svd = randomized_svd(a, cfg).residual(a)
+        e_cur = cur_decomposition(a, cfg).residual(a)
+        assert e_svd < 3 * e_qr
+        assert e_cur < 30 * e_qr
+
+
+class TestAdaptiveToFactorization:
+    def test_adaptive_basis_feeds_fixed_rank(self):
+        """Fixed-accuracy pipeline: find l adaptively, then extract the
+        factors at the discovered rank."""
+        a = exponent_matrix(2_000, 300, seed=25)
+        res = adaptive_sampling(a, AdaptiveConfig(tolerance=1e-6,
+                                                  seed=26))
+        l = res.subspace_size
+        f = random_sampling(a, SamplingConfig(rank=max(1, l - 10),
+                                              oversampling=10, seed=26))
+        # The adaptive tolerance transfers to the extracted factors
+        # (both relative to ||A|| = 1 for this matrix).
+        assert f.residual(a) < 1e-4
+
+
+class TestDevicePipelines:
+    def test_same_seed_same_math_all_executors(self):
+        a = exponent_matrix(800, 150, seed=27)
+        cfg = SamplingConfig(rank=20, power_iterations=1, seed=28)
+        outs = [random_sampling(a, cfg, executor=ex)
+                for ex in (None, GPUExecutor(seed=28),
+                           MultiGPUExecutor(ng=2, seed=28))]
+        for other in outs[1:]:
+            np.testing.assert_allclose(np.asarray(other.q),
+                                       np.asarray(outs[0].q), atol=1e-9)
+
+    def test_symbolic_sweep_report_renders(self):
+        points = []
+        for m in (10_000, 20_000):
+            ex = GPUExecutor(seed=0)
+            f = random_sampling(SymArray((m, 2_500)),
+                                SamplingConfig(rank=54, oversampling=10,
+                                               power_iterations=1,
+                                               seed=0), executor=ex)
+            points.append({"m": m, "total": f.seconds,
+                           "breakdown": f.breakdown})
+        table = format_breakdown_table(points, "m",
+                                       ["sampling", "gemm_iter", "qrcp"])
+        assert "sampling" in table and str(10_000) in table
+
+    def test_executor_reuse_accumulates(self):
+        ex = GPUExecutor(seed=0)
+        cfg = SamplingConfig(rank=20, oversampling=4, seed=0)
+        random_sampling(SymArray((5_000, 500)), cfg, executor=ex)
+        t1 = ex.seconds
+        random_sampling(SymArray((5_000, 500)), cfg, executor=ex)
+        assert ex.seconds == pytest.approx(2 * t1, rel=0.01)
+        ex.reset_clock()
+        assert ex.seconds == 0.0
+
+
+class TestHapmapPipeline:
+    def test_population_recovery_via_low_rank(self):
+        panel = hapmap_like_matrix(4_000, 120, seed=29, return_panel=True)
+        a = panel.genotypes - panel.genotypes.mean(axis=1, keepdims=True)
+        f = randomized_svd(a, SamplingConfig(rank=6, power_iterations=2,
+                                             seed=30))
+        coords = (f.vt.T * f.s)  # individuals embedded
+        # Nearest-centroid classification against the true populations
+        # must beat chance by a wide margin.
+        centers = np.stack([coords[panel.labels == j].mean(axis=0)
+                            for j in range(4)])
+        d = ((coords[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+        pred = d.argmin(axis=1)
+        assert np.mean(pred == panel.labels) > 0.9
+
+    def test_cur_on_genotypes_selects_informative_columns(self):
+        a = hapmap_like_matrix(2_000, 80, seed=31)
+        d = cur_decomposition(a, SamplingConfig(rank=10, seed=32))
+        assert d.residual(a) < 1.0
+        assert len(np.unique(d.cols)) == 10
+
+
+class TestHODLRPipeline:
+    def test_kernel_system_solved_faster_than_dense_error(self, rng):
+        n = 300
+        x = np.linspace(0, 1, n)
+        a = np.exp(-np.abs(x[:, None] - x[None, :]) * 3) + 2 * np.eye(n)
+        h = build_hodlr(a, leaf_size=32, rank=10)
+        b = rng.standard_normal(n)
+        xh = h.solve(b)
+        assert np.linalg.norm(a @ xh - b) / np.linalg.norm(b) < 1e-6
+        assert h.stats().compression_ratio > 1.5
+
+    def test_tsqr_inside_sampling_pipeline(self):
+        a = exponent_matrix(1_000, 150, seed=33)
+        cfg = SamplingConfig(rank=20, power_iterations=1, orth="tsqr",
+                             seed=34)
+        f = random_sampling(a, cfg)
+        # sigma_21/sigma_0 = 10^-2.1 for this spectrum.
+        assert f.residual(a) < 5e-2
+        q, r = tsqr(np.asarray(f.q), leaf_count=4)
+        # Q is already orthonormal: TSQR returns R ~ identity.
+        np.testing.assert_allclose(np.abs(np.diag(r)), 1.0, atol=1e-10)

@@ -1,0 +1,190 @@
+"""Tests for the kernel timing models (repro.gpu.kernels).
+
+Besides basic sanity (positive, monotone in work), these tests pin the
+model to the paper's own measurements — if a calibration change drifts
+away from the published anchors, they fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.kernels import KernelModel, gemm_flops, qp3_flops, qr_flops
+
+
+@pytest.fixture(scope="module")
+def km() -> KernelModel:
+    return KernelModel()
+
+
+class TestFlopCounts:
+    def test_gemm(self):
+        assert gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+
+    def test_qr(self):
+        assert qr_flops(100, 10) == 2 * 100 * 100
+
+    def test_qp3_full(self):
+        assert qp3_flops(100, 50, 0) == 0.0
+        assert qp3_flops(100, 50, 10) == pytest.approx(
+            4 * 100 * 50 * 10 - 2 * 150 * 100 + 4 / 3 * 1000)
+
+
+class TestGemmModel:
+    def test_positive(self, km):
+        assert km.gemm_seconds(64, 2500, 50_000) > 0
+
+    def test_monotone_in_inner_dim(self, km):
+        times = [km.gemm_seconds(64, 2500, m)
+                 for m in (10_000, 20_000, 40_000, 80_000)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_rate_saturates_with_panel_width(self, km):
+        rates = [km.gemm_gflops(l, 2500, 50_000)
+                 for l in (8, 16, 32, 64, 128, 256, 512)]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] < km.spec.dgemm_peak_gflops
+
+    def test_figure18_anchors(self, km):
+        """Fig 18: GEMM Gflop/s at m=50k, n=2.5k for the adaptive panel
+        widths {8: 123.3, 16: 247.0, 32: 489.5, 48: 597.8, 64: 778.5}.
+        The fitted roofline must stay within ~15 % of each anchor."""
+        paper = {8: 123.3, 16: 247.0, 32: 489.5, 48: 597.8, 64: 778.5}
+        for l, ref in paper.items():
+            flops = 2.0 * l * 50_000 * 2_500
+            rate = flops / (km.gemm_seconds(l, 2_500, 50_000) * 1e9)
+            assert rate == pytest.approx(ref, rel=0.15), f"l={l}"
+
+    def test_figure15_height_anchors(self, km):
+        """Fig 15 discussion: the l=64 GEMM runs at ~440/630/760
+        Gflop/s for panel heights 150k/75k/50k."""
+        paper = {150_000: 440.0, 75_000: 630.0, 50_000: 760.0}
+        for m, ref in paper.items():
+            flops = 2.0 * 64 * m * 2_500
+            rate = flops / (km.gemm_seconds(64, 2_500, m) * 1e9)
+            assert rate == pytest.approx(ref, rel=0.15), f"m={m}"
+
+    def test_large_square_gemm_near_peak(self, km):
+        rate = km.gemm_gflops(5000, 5000, 5000)
+        assert rate > 0.85 * km.spec.dgemm_peak_gflops
+
+
+class TestOrthKernels:
+    def test_cholqr_vs_hhqr_tall_skinny_ratio(self, km):
+        """Fig 7: CholQR ~30.5x HHQR on tall-skinny n=64 panels
+        (up to 33.2x)."""
+        ratios = [km.hhqr_seconds(m, 64) / km.cholqr_seconds(m, 64)
+                  for m in (2_500, 10_000, 25_000, 50_000)]
+        assert 20 < np.mean(ratios) < 40
+        assert max(ratios) < 45
+
+    def test_cholqr_vs_hhqr_short_wide_ratio(self, km):
+        """Fig 9: CholQR ~72.9x HHQR short-wide (up to 106.4x)."""
+        ratios = [km.hhqr_seconds(64, n) / km.cholqr_seconds(64, n)
+                  for n in (2_500, 10_000, 25_000, 50_000)]
+        assert 50 < np.mean(ratios) < 95
+        assert max(ratios) < 130
+
+    def test_hhqr_vs_qp3_ratio(self, km):
+        """Fig 7: HHQR ~5x faster than QP3 at the same shape."""
+        m = 50_000
+        ratio = km.qp3_seconds(m, 64, 64) / km.hhqr_seconds(m, 64)
+        assert 3 < ratio < 8
+
+    def test_kernel_ordering_tall_skinny(self, km):
+        """Fig 7 ordering at n=64: CholQR > CGS > HHQR > MGS > QP3."""
+        m = 25_000
+        t_cholqr = km.cholqr_seconds(m, 64)
+        t_cgs = km.cgs_seconds(m, 64)
+        t_hhqr = km.hhqr_seconds(m, 64)
+        t_mgs = km.mgs_seconds(m, 64)
+        t_qp3 = km.qp3_seconds(m, 64, 64)
+        assert t_cholqr < t_cgs < t_hhqr < t_mgs < t_qp3
+
+    def test_reorth_doubles_cholqr(self, km):
+        t1 = km.cholqr_seconds(10_000, 64, reorth=False)
+        t2 = km.cholqr_seconds(10_000, 64, reorth=True)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_block_orth_free_with_no_basis(self, km):
+        assert km.block_orth_seconds(0, 8, 1000) == 0.0
+
+    def test_block_orth_reorth_doubles(self, km):
+        t1 = km.block_orth_seconds(64, 8, 2500, reorth=False)
+        t2 = km.block_orth_seconds(64, 8, 2500, reorth=True)
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestQP3Model:
+    def test_figure11_slope_and_intercept(self, km):
+        """Fig 11 fit: QP3 time ~ 9.34e-6 * m + 0.0098 s at n=2.5k,
+        k=54.  Check the model stays within 20 % at both ends."""
+        for m in (10_000, 50_000):
+            ref = 9.34e-6 * m + 0.0098
+            assert km.qp3_seconds(m, 2_500, 54) == pytest.approx(ref,
+                                                                 rel=0.2)
+
+    def test_sub_29_gflops(self, km):
+        """Fig 10 discussion: QP3 performance limited under 29 Gflop/s
+        (on its 2 m n k useful flops)."""
+        for m in (10_000, 30_000, 50_000):
+            rate = 2.0 * m * 2_500 * 54 / (km.qp3_seconds(m, 2_500, 54)
+                                           * 1e9)
+            assert rate < 29.5
+
+    def test_zero_rank_free(self, km):
+        assert km.qp3_seconds(100, 100, 0) == 0.0
+
+    def test_pivot_sync_term(self, km):
+        # The intercept is k * pivot_sync_s: doubling k at tiny m
+        # roughly doubles the latency part.
+        t1 = km.qp3_seconds(200, 100, 20)
+        t2 = km.qp3_seconds(200, 100, 40)
+        assert t2 > t1
+
+
+class TestSamplingKernels:
+    def test_curand_rate(self, km):
+        # 3.2e6 samples (l=64, m=50k) should take well under a
+        # millisecond — the 0.9 % share of the Fig 11 breakdown.
+        assert km.curand_seconds(64 * 50_000) < 1.5e-3
+
+    def test_fft_row_crossover_near_192(self, km):
+        """Fig 8(a): full-FFT row sampling beats the pruned Gaussian
+        GEMM for l > ~192 (at m=50k, n=2.5k)."""
+        f = km.fft_sampling_seconds(50_000, 2_500, axis="row")
+        def gemm(l):
+            return km.gemm_seconds(l, 2_500, 50_000)
+        assert gemm(128) < f          # Gaussian wins well below
+        assert gemm(320) > f          # FFT wins well above
+        # Crossover inside the plotted range:
+        crossings = [l for l in range(32, 513, 16) if gemm(l) > f]
+        assert crossings and 128 <= min(crossings) <= 320
+
+    def test_fft_col_crossover_near_128(self, km):
+        """Fig 8(b): the column-sampling crossover is earlier (~128)."""
+        f = km.fft_sampling_seconds(50_000, 2_500, axis="col")
+        def gemm(l):
+            return km.gemm_seconds(l, 50_000, 2_500)
+        crossings = [l for l in range(32, 513, 16) if gemm(l) > f]
+        assert crossings and 64 <= min(crossings) <= 224
+
+    def test_fft_bad_axis_raises(self, km):
+        with pytest.raises(ConfigurationError):
+            km.fft_sampling_seconds(100, 100, axis="diag")
+
+    def test_gemv_much_slower_than_gemm(self, km):
+        """Fig 8: GEMV obtains much lower performance than GEMM."""
+        assert km.gemv_gflops(50_000, 2_500) < 80
+        assert km.gemm_gflops(256, 2_500, 50_000) > 5 * km.gemv_gflops(
+            50_000, 2_500)
+
+
+class TestTransfers:
+    def test_transfer_latency_floor(self, km):
+        assert km.transfer_seconds(0) == pytest.approx(
+            km.spec.pcie_latency_s)
+
+    def test_transfer_bandwidth(self, km):
+        t = km.transfer_seconds(6_000_000_000)
+        assert t == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,86 @@
+"""Tests for device memory accounting and transfers (repro.gpu.memory)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfDeviceMemoryError
+from repro.gpu.memory import DeviceMemory, TransferModel
+
+
+class TestDeviceMemory:
+    def test_allocate_and_free(self):
+        mem = DeviceMemory(1000)
+        h = mem.allocate(400)
+        assert mem.used == 400
+        assert mem.available == 600
+        mem.free(h)
+        assert mem.used == 0
+
+    def test_oom_raises_with_details(self):
+        mem = DeviceMemory(100)
+        mem.allocate(80)
+        with pytest.raises(OutOfDeviceMemoryError) as exc:
+            mem.allocate(50)
+        assert exc.value.requested == 50
+        assert exc.value.available == 20
+        assert exc.value.capacity == 100
+
+    def test_high_water_mark(self):
+        mem = DeviceMemory(1000)
+        h = mem.allocate(700)
+        mem.free(h)
+        mem.allocate(100)
+        assert mem.high_water == 700
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(100)
+        h = mem.allocate(10)
+        mem.free(h)
+        with pytest.raises(ConfigurationError):
+            mem.free(h)
+
+    def test_negative_allocation_raises(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMemory(100).allocate(-1)
+
+    def test_zero_capacity_raises(self):
+        with pytest.raises(ConfigurationError):
+            DeviceMemory(0)
+
+    def test_reset_clears(self):
+        mem = DeviceMemory(100)
+        mem.allocate(60)
+        mem.reset()
+        assert mem.used == 0
+        mem.allocate(100)  # full capacity available again
+
+    def test_paper_matrix_fits_k40c(self):
+        """The 500k x 500 numerics matrix (2 GB) fits the 12 GB K40c;
+        a hypothetical 2M x 1000 (16 GB) does not."""
+        mem = DeviceMemory(12 * 1024 ** 3)
+        mem.allocate(500_000 * 500 * 8)
+        with pytest.raises(OutOfDeviceMemoryError):
+            mem.allocate(2_000_000 * 1000 * 8)
+
+
+class TestTransferModel:
+    def test_latency_floor(self):
+        t = TransferModel(bandwidth_gbs=6.0, latency_s=1e-5)
+        assert t.seconds(0) == pytest.approx(1e-5)
+
+    def test_bandwidth_term(self):
+        t = TransferModel(bandwidth_gbs=6.0, latency_s=0.0)
+        assert t.seconds(6_000_000_000) == pytest.approx(1.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            TransferModel().seconds(-1)
+
+    def test_reduce_scales_with_devices(self):
+        t = TransferModel(bandwidth_gbs=6.0, latency_s=0.0)
+        assert t.reduce_seconds(6_000_000, 3) == pytest.approx(
+            3 * t.seconds(6_000_000))
+
+    def test_broadcast_scales_with_devices(self):
+        t = TransferModel(bandwidth_gbs=6.0, latency_s=1e-5)
+        assert t.broadcast_seconds(1000, 4) == pytest.approx(
+            4 * t.seconds(1000))

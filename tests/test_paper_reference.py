@@ -1,0 +1,57 @@
+"""Tests for the paper-vs-measured reproduction report
+(repro.bench.paper_reference)."""
+
+import pytest
+
+from repro.bench.paper_reference import (CLAIMS, PaperClaim,
+                                         reproduction_report)
+
+
+class TestClaimMechanics:
+    def test_pass_within_tolerance(self):
+        claim = PaperClaim("x", "c", 10.0, 0.1, lambda: 10.5)
+        assert claim.check()["status"] == "PASS"
+
+    def test_fail_outside_tolerance(self):
+        claim = PaperClaim("x", "c", 10.0, 0.1, lambda: 12.0)
+        assert claim.check()["status"] == "FAIL"
+
+    def test_row_fields(self):
+        row = PaperClaim("exp", "name", 1.0, 0.5, lambda: 1.0,
+                         "Gflop/s").check()
+        assert row["experiment"] == "exp"
+        assert row["unit"] == "Gflop/s"
+        assert row["measured"] == 1.0
+
+
+class TestClaimRegistry:
+    def test_covers_the_headline_experiments(self):
+        exps = {c.experiment for c in CLAIMS}
+        assert {"fig07", "fig08", "fig09", "fig10", "fig11",
+                "fig15", "fig18"} <= exps
+
+    def test_claims_have_positive_tolerances(self):
+        assert all(0 < c.rtol < 1 for c in CLAIMS)
+
+    def test_at_least_25_claims(self):
+        assert len(CLAIMS) >= 25
+
+
+class TestFullReport:
+    def test_every_claim_passes(self):
+        """The headline test of the whole reproduction: every encoded
+        paper value is re-measured within its band."""
+        rows = reproduction_report()
+        fails = [r for r in rows if r["status"] == "FAIL"]
+        assert not fails, fails
+
+    def test_experiment_filter(self):
+        rows = reproduction_report(experiments=["fig18"])
+        assert len(rows) == 5
+        assert all(r["experiment"] == "fig18" for r in rows)
+
+    def test_cli_diff_command(self, capsys):
+        from repro.cli import main
+        assert main(["diff"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "paper" in out

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin the algebraic contracts of the kernels over randomized
+shapes/spectra rather than single examples:
+
+- any QR variant reconstructs its input and returns an orthonormal Q;
+- QRCP's permutation is a permutation and its diagonal dominates;
+- random sampling is exact on matrices of rank <= k;
+- the timing models are positive and monotone in the work;
+- the anchor curve interpolates within the hull of its anchors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SamplingConfig, random_sampling
+from repro.gpu.kernels import KernelModel
+from repro.gpu.specs import AnchorCurve
+from repro.qr.cholqr import cholqr_columns
+from repro.qr.gram_schmidt import block_orth_rows
+from repro.qr.householder import householder_qr
+from repro.qr.qrcp import qp3_blocked
+from repro.qr.tsqr import tsqr
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_matrix(draw, max_m=80, max_n=40):
+    m = draw(st.integers(2, max_m))
+    n = draw(st.integers(1, min(m, max_n)))
+    seed = draw(st.integers(0, 2 ** 31))
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+matrices = st.builds(lambda seed, m, n: np.random.default_rng(
+    seed).standard_normal((max(m, n), min(m, n))),
+    st.integers(0, 2 ** 31), st.integers(2, 80), st.integers(1, 40))
+
+
+@settings(max_examples=25, **COMMON)
+@given(matrices)
+def test_householder_qr_contract(a):
+    f = householder_qr(a)
+    q, r = f.q(), f.r()
+    assert np.allclose(q @ r, a, atol=1e-9)
+    assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-9)
+
+
+@settings(max_examples=25, **COMMON)
+@given(matrices)
+def test_tsqr_contract(a):
+    q, r = tsqr(a, leaf_count=4)
+    assert np.allclose(q @ r, a, atol=1e-9)
+    assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-9)
+
+
+@settings(max_examples=25, **COMMON)
+@given(matrices, st.integers(1, 20))
+def test_qrcp_contract(a, k):
+    k = min(k, *a.shape)
+    res = qp3_blocked(a, k=k)
+    assert sorted(res.perm.tolist()) == list(range(a.shape[1]))
+    assert np.allclose(res.q.T @ res.q, np.eye(k), atol=1e-9)
+    # Factored pivot columns reproduced exactly.
+    assert np.allclose(res.q @ res.r[:, :k], a[:, res.perm[:k]],
+                       atol=1e-8)
+    # Pivot dominance: |r_11| is the largest column norm.
+    assert abs(res.r[0, 0]) == pytest.approx(
+        np.linalg.norm(a, axis=0).max(), rel=1e-9)
+
+
+@settings(max_examples=20, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(1, 15), st.integers(0, 6))
+def test_random_sampling_exact_on_lowrank(seed, rank, extra):
+    rng = np.random.default_rng(seed)
+    m, n = 120, 50
+    a = rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n))
+    k = min(rank + extra, n - 1)
+    cfg = SamplingConfig(rank=max(k, rank), oversampling=5, seed=seed)
+    f = random_sampling(a, cfg)
+    assert f.residual(a) < 1e-8
+
+
+@settings(max_examples=20, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(2, 12), st.integers(1, 6))
+def test_block_orth_rows_invariants(seed, lp, lv):
+    rng = np.random.default_rng(seed)
+    n = 64
+    q = np.linalg.qr(rng.standard_normal((n, lp)))[0].T
+    v = rng.standard_normal((lv, n))
+    w, c = block_orth_rows(q, v)
+    assert np.allclose(w @ q.T, 0.0, atol=1e-10)
+    assert np.allclose(c @ q + w, v, atol=1e-10)
+
+
+@settings(max_examples=30, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(3, 40))
+def test_cholqr_columns_contract(seed, n):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n * 3, n))
+    q, r = cholqr_columns(a)
+    assert np.allclose(q @ r, a, atol=1e-8)
+    assert np.allclose(q.T @ q, np.eye(n), atol=1e-8)
+    assert np.all(np.diag(r) > 0)
+
+
+@settings(max_examples=40, **COMMON)
+@given(st.integers(1, 512), st.integers(1_000, 200_000),
+       st.integers(100, 5_000))
+def test_gemm_model_positive_and_bounded(l, m, n):
+    km = KernelModel()
+    secs = km.gemm_seconds(l, n, m)
+    assert secs > 0
+    rate = 2.0 * l * m * n / (secs * 1e9)
+    assert rate < km.spec.fp64_peak_gflops
+
+
+@settings(max_examples=40, **COMMON)
+@given(st.integers(2, 300), st.integers(2, 300))
+def test_qp3_model_monotone_in_k(m, n):
+    km = KernelModel()
+    kmax = min(m, n)
+    t_half = km.qp3_seconds(m, n, max(1, kmax // 2))
+    t_full = km.qp3_seconds(m, n, kmax)
+    assert 0 < t_half <= t_full
+
+
+@settings(max_examples=30, **COMMON)
+@given(st.lists(st.tuples(st.floats(1e-3, 1e6), st.floats(1e-3, 1e6)),
+                min_size=1, max_size=8, unique_by=lambda p: p[0]),
+       st.floats(1e-4, 1e7))
+def test_anchor_curve_within_hull(points, x):
+    curve = AnchorCurve(points)
+    ys = [p[1] for p in points]
+    val = curve(x)
+    assert min(ys) * (1 - 1e-9) <= val <= max(ys) * (1 + 1e-9)

@@ -1,0 +1,139 @@
+"""Property-based tests for the extension modules.
+
+Hypothesis contracts for CAQP3, the randomized SVD, CUR, HODLR, the
+probabilistic estimator, subspace diagnostics, and the cluster network
+model — over randomized shapes, ranks and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SamplingConfig
+from repro.core.cur import cur_decomposition
+from repro.core.estimator import bound_constant, failure_probability
+from repro.core.subspace import principal_angles, subspace_alignment
+from repro.core.svd import randomized_svd
+from repro.gpu.cluster import NetworkSpec
+from repro.hss import build_hodlr
+from repro.qr.caqp3 import caqp3, tournament_pivots
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=20, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(20, 60), st.integers(2, 12))
+def test_tournament_pivots_distinct_and_in_range(seed, n, b):
+    a = np.random.default_rng(seed).standard_normal((50, n))
+    w = tournament_pivots(a, b)
+    assert len(set(w.tolist())) == min(b, n)
+    assert 0 <= w.min() and w.max() < n
+
+
+@settings(max_examples=15, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(2, 20))
+def test_caqp3_contract(seed, k):
+    a = np.random.default_rng(seed).standard_normal((60, 40))
+    k = min(k, 40)
+    res = caqp3(a, k=k)
+    assert sorted(res.perm.tolist()) == list(range(40))
+    assert np.allclose(res.q.T @ res.q, np.eye(k), atol=1e-9)
+    assert np.allclose(res.q @ res.r[:, :k], a[:, res.perm[:k]],
+                       atol=1e-8)
+
+
+@settings(max_examples=15, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(2, 12), st.integers(0, 2))
+def test_randomized_svd_contract(seed, rank, q):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((90, rank)) @ rng.standard_normal((rank, 50))
+    f = randomized_svd(a, SamplingConfig(rank=rank, oversampling=6,
+                                         power_iterations=q, seed=seed))
+    assert np.all(np.diff(f.s) <= 1e-12)           # descending
+    assert np.all(f.s >= -1e-12)                   # non-negative
+    assert f.residual(a) < 1e-7                    # exact rank recovered
+    assert np.allclose(f.u.T @ f.u, np.eye(rank), atol=1e-8)
+
+
+@settings(max_examples=10, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(2, 10))
+def test_cur_factors_are_slices(seed, rank):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((70, rank)) @ rng.standard_normal((rank, 40))
+    d = cur_decomposition(a, SamplingConfig(rank=rank, oversampling=5,
+                                            seed=seed))
+    assert np.array_equal(d.c, a[:, d.cols])
+    assert np.array_equal(d.r, a[d.rows, :])
+    assert d.residual(a) < 1e-7
+
+
+@settings(max_examples=8, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(60, 200))
+def test_hodlr_solve_contract(seed, n):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, n)
+    a = 1.0 / (1.0 + 5 * np.abs(x[:, None] - x[None, :])) \
+        + 2.0 * np.eye(n)
+    h = build_hodlr(a, leaf_size=32, rank=10)
+    b = rng.standard_normal(n)
+    xs = h.solve(b)
+    assert np.linalg.norm(a @ xs - b) / np.linalg.norm(b) < 1e-7
+    assert np.allclose(h.matvec(xs), a @ xs, atol=1e-7)
+
+
+@settings(max_examples=40, **COMMON)
+@given(st.floats(1e-12, 0.99), st.integers(1, 256),
+       st.integers(2, 10 ** 6), st.integers(2, 10 ** 6))
+def test_estimator_roundtrip(gamma, l_inc, m, n):
+    c = bound_constant(gamma, l_inc, m, n)
+    assert c > 1.0
+    p = failure_probability(c, l_inc, m, n)
+    assert p == pytest.approx(min(1.0, gamma), rel=1e-6)
+
+
+@settings(max_examples=25, **COMMON)
+@given(st.integers(0, 2 ** 31), st.integers(1, 8), st.integers(1, 8))
+def test_principal_angles_bounds_and_symmetry(seed, ku, kv):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((30, ku))
+    v = rng.standard_normal((30, kv))
+    a_uv = principal_angles(u, v)
+    a_vu = principal_angles(v, u)
+    assert np.all(a_uv >= -1e-12) and np.all(a_uv <= np.pi / 2 + 1e-12)
+    np.testing.assert_allclose(a_uv, a_vu, atol=1e-8)
+    assert 0.0 <= subspace_alignment(u, v) <= 1.0
+
+
+@settings(max_examples=8, **COMMON)
+@given(st.integers(0, 2 ** 31), st.floats(3.0, 15.0),
+       st.sampled_from([1e-4, 1e-6, 1e-8]))
+def test_adaptive_meets_tolerance_on_random_spectra(seed, decade, tol):
+    """The adaptive scheme's contract across random exponential
+    spectra: it converges, the basis is orthonormal, and the actual
+    error respects the certified bound."""
+    from repro.config import AdaptiveConfig
+    from repro.core.adaptive import adaptive_sampling
+    from repro.matrices.synthetic import exponent_matrix
+
+    a = exponent_matrix(400, 150, seed=seed, decade=decade)
+    res = adaptive_sampling(a, AdaptiveConfig(tolerance=tol, l_inc=16,
+                                              seed=seed))
+    assert res.converged
+    basis = np.asarray(res.basis)
+    assert np.allclose(basis @ basis.T, np.eye(basis.shape[0]),
+                       atol=1e-8)
+    assert res.actual_error(a) <= res.certified_bound(gamma=1e-6)
+
+
+@settings(max_examples=40, **COMMON)
+@given(st.integers(0, 10 ** 9), st.integers(1, 1024),
+       st.floats(1e-7, 1e-2), st.floats(0.5, 50.0))
+def test_network_allreduce_monotone(nbytes, nodes, latency, bw):
+    net = NetworkSpec(bandwidth_gbs=bw, latency_s=latency)
+    t = net.allreduce_seconds(nbytes, nodes)
+    assert t >= 0.0
+    if nodes > 1:
+        assert t >= net.allreduce_seconds(nbytes, max(1, nodes // 2))
+        assert t >= 2 * latency  # at least one round trip

@@ -1,0 +1,194 @@
+"""Tests for QR with column pivoting (repro.qr.qrcp)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.config import QRCPConfig
+from repro.errors import ShapeError
+from repro.matrices.synthetic import exponent_matrix
+from repro.qr.qrcp import qp3_blocked, qrcp, qrcp_column
+
+from tests.helpers import (assert_orthonormal_columns,
+                           assert_valid_permutation)
+
+
+@pytest.mark.parametrize("factorize", [qrcp_column, qp3_blocked],
+                         ids=["column", "blocked"])
+class TestQRCPCommon:
+    def test_full_factorization_residual(self, factorize, rng):
+        a = rng.standard_normal((60, 40))
+        res = factorize(a)
+        assert res.residual(a) < 1e-12
+
+    def test_q_orthonormal(self, factorize, rng):
+        a = rng.standard_normal((60, 40))
+        res = factorize(a)
+        assert_orthonormal_columns(res.q)
+
+    def test_perm_is_permutation(self, factorize, rng):
+        a = rng.standard_normal((60, 40))
+        res = factorize(a)
+        assert_valid_permutation(res.perm, 40)
+
+    def test_r_leading_block_triangular(self, factorize, rng):
+        a = rng.standard_normal((60, 40))
+        res = factorize(a, k=15)
+        np.testing.assert_allclose(res.r[:, :15], np.triu(res.r[:, :15]))
+
+    def test_r_diag_decreasing(self, factorize, rng):
+        # |r_11| >= |r_22| >= ... holds for column-norm pivoting on the
+        # first step-norm; the standard (slightly weaker) property we
+        # check is |r_jj| <= |r_11| for all j.
+        a = rng.standard_normal((80, 50))
+        res = factorize(a)
+        d = np.abs(np.diag(res.r[:, :50]))
+        assert np.all(d <= d[0] + 1e-12)
+
+    def test_truncated_rank_low_rank_exact(self, factorize, lowrank_matrix):
+        res = factorize(lowrank_matrix, k=12)
+        assert res.residual(lowrank_matrix) < 1e-10
+
+    def test_truncation_shapes(self, factorize, rng):
+        a = rng.standard_normal((70, 45))
+        res = factorize(a, k=20)
+        assert res.q.shape == (70, 20)
+        assert res.r.shape == (20, 45)
+        assert res.k == 20
+
+    def test_k_larger_than_dims_clamped(self, factorize, rng):
+        a = rng.standard_normal((30, 10))
+        res = factorize(a, k=99)
+        assert res.k == 10
+
+    def test_wide_matrix(self, factorize, rng):
+        a = rng.standard_normal((20, 100))
+        res = factorize(a, k=20)
+        assert res.residual(a) < 1e-12
+
+    def test_approximation_roundtrip(self, factorize, lowrank_matrix):
+        res = factorize(lowrank_matrix, k=12)
+        approx = res.approximation()
+        assert np.linalg.norm(approx - lowrank_matrix) < 1e-8
+
+    def test_error_tracks_sigma_kplus1(self, factorize, decaying_matrix):
+        s = np.linalg.svd(decaying_matrix, compute_uv=False)
+        res = factorize(decaying_matrix, k=30)
+        err = res.residual(decaying_matrix, relative=False)
+        # QRCP is not optimal but stays within a modest factor of
+        # sigma_{k+1} in practice.
+        assert s[30] * 0.99 < err < s[30] * 50
+
+
+class TestAgreement:
+    def test_blocked_matches_column_pivots(self, rng):
+        a = rng.standard_normal((80, 50))
+        rc = qrcp_column(a, k=25)
+        rb = qp3_blocked(a, k=25)
+        np.testing.assert_array_equal(rc.perm[:25], rb.perm[:25])
+
+    def test_blocked_matches_column_r_up_to_sign(self, rng):
+        a = rng.standard_normal((60, 30))
+        rc = qrcp_column(a)
+        rb = qp3_blocked(a)
+        np.testing.assert_allclose(np.abs(np.diag(rc.r)),
+                                   np.abs(np.diag(rb.r)), atol=1e-10)
+
+    def test_matches_scipy_qp3_pivots(self, rng):
+        a = rng.standard_normal((60, 35))
+        _, _, piv = scipy.linalg.qr(a, pivoting=True)
+        res = qp3_blocked(a)
+        np.testing.assert_array_equal(res.perm, piv)
+
+    def test_matches_scipy_qp3_r_magnitude(self, rng):
+        a = rng.standard_normal((60, 35))
+        _, r_sp, _ = scipy.linalg.qr(a, pivoting=True, mode="economic")
+        res = qp3_blocked(a)
+        np.testing.assert_allclose(np.abs(np.diag(res.r)),
+                                   np.abs(np.diag(r_sp)), atol=1e-9)
+
+
+class TestBlockedSpecifics:
+    @pytest.mark.parametrize("block_size", [1, 4, 7, 32, 128])
+    def test_block_size_invariance(self, rng, block_size):
+        a = rng.standard_normal((50, 40))
+        ref = qrcp_column(a, k=20)
+        res = qp3_blocked(a, k=20, config=QRCPConfig(block_size=block_size))
+        np.testing.assert_array_equal(res.perm[:20], ref.perm[:20])
+        assert res.residual(a) < 1e-12 or res.residual(a) == pytest.approx(
+            ref.residual(a), rel=1e-6)
+
+    def test_norm_recompute_counter_zero_for_easy(self, rng):
+        a = rng.standard_normal((60, 40))
+        res = qp3_blocked(a)
+        assert res.norm_recomputations == 0
+
+    def test_norm_recompute_triggered_by_cancellation(self):
+        # Columns with norms spanning many orders of magnitude force
+        # the downdating formula into cancellation.
+        a = exponent_matrix(200, 80, seed=11)
+        res = qp3_blocked(a, k=60)
+        assert res.norm_recomputations >= 1
+        # sigma_61/sigma_0 = 10^-6 for this spectrum; QRCP stays within
+        # a modest factor of the optimum.
+        assert res.residual(a) < 1e-5
+
+    def test_truncate_via_config(self, rng):
+        a = rng.standard_normal((40, 30))
+        res = qp3_blocked(a, config=QRCPConfig(truncate=8))
+        assert res.k == 8
+
+
+class TestFixedAccuracy:
+    def test_tolerance_controls_rank(self):
+        a = exponent_matrix(300, 120, seed=4)
+        ks = [qp3_blocked(a, tolerance=tol).k
+              for tol in (1e-2, 1e-5, 1e-8)]
+        assert ks[0] < ks[1] < ks[2]
+
+    def test_residual_tracks_tolerance(self):
+        a = exponent_matrix(300, 120, seed=5)
+        for tol in (1e-3, 1e-6):
+            res = qp3_blocked(a, tolerance=tol)
+            # The stopping norm bounds the residual within a modest
+            # factor in both directions.
+            assert res.residual(a) < 10 * tol
+            assert res.residual(a) > 1e-3 * tol
+
+    def test_huge_tolerance_gives_zero_rank(self, rng):
+        a = rng.standard_normal((20, 10))
+        res = qp3_blocked(a, tolerance=1e6)
+        assert res.k == 0
+        assert res.q.shape == (20, 0)
+        assert res.r.shape == (0, 10)
+
+    def test_tiny_tolerance_full_rank(self, rng):
+        a = rng.standard_normal((20, 10))
+        res = qp3_blocked(a, tolerance=1e-14)
+        assert res.k == 10
+
+    def test_negative_tolerance_raises(self, rng):
+        with pytest.raises(ShapeError):
+            qp3_blocked(rng.standard_normal((5, 5)), tolerance=-1.0)
+
+    def test_factors_consistent_after_early_stop(self):
+        a = exponent_matrix(200, 100, seed=6)
+        res = qp3_blocked(a, tolerance=1e-4)
+        np.testing.assert_allclose(res.q @ res.r[:, : res.k],
+                                   a[:, res.perm[: res.k]], atol=1e-10)
+
+
+class TestDispatch:
+    def test_qrcp_default_blocked(self, rng):
+        a = rng.standard_normal((30, 20))
+        res = qrcp(a, k=10)
+        assert res.k == 10
+
+    def test_qrcp_column_method(self, rng):
+        a = rng.standard_normal((30, 20))
+        res = qrcp(a, k=10, method="column")
+        assert res.k == 10
+
+    def test_unknown_method_raises(self, rng):
+        with pytest.raises(ShapeError):
+            qrcp(rng.standard_normal((5, 5)), method="nope")

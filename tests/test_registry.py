@@ -1,0 +1,54 @@
+"""Tests for the named test-matrix registry (repro.matrices.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.matrices.registry import (TABLE1_SPECS, get_matrix, list_matrices,
+                                     table1_row)
+
+
+class TestRegistry:
+    def test_lists_all_three(self):
+        assert set(list_matrices()) == {"power", "exponent", "hapmap"}
+
+    def test_specs_carry_paper_shapes(self):
+        assert TABLE1_SPECS["power"].paper_shape == (500_000, 500)
+        assert TABLE1_SPECS["hapmap"].paper_shape == (503_783, 506)
+
+    def test_get_matrix_scaled(self):
+        a = get_matrix("power", m=100, n=40, seed=0)
+        assert a.shape == (100, 40)
+
+    def test_get_matrix_default_n(self):
+        a = get_matrix("exponent", m=200, seed=0)
+        assert a.shape == (200, 500)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_matrix("nope", m=10, n=10)
+
+    def test_seeded_reproducible(self):
+        np.testing.assert_array_equal(get_matrix("hapmap", m=50, n=20,
+                                                 seed=1),
+                                      get_matrix("hapmap", m=50, n=20,
+                                                 seed=1))
+
+
+class TestTable1Row:
+    def test_exponent_stats(self):
+        a = get_matrix("exponent", m=300, n=200, seed=0)
+        row = table1_row(a, k=50)
+        assert row["sigma_0"] == pytest.approx(1.0, rel=1e-6)
+        assert row["sigma_k1"] == pytest.approx(10 ** -5.1, rel=1e-3)
+        assert row["kappa"] == pytest.approx(10 ** 5.1, rel=1e-3)
+
+    def test_k_too_large_raises(self):
+        a = get_matrix("power", m=60, n=30, seed=0)
+        with pytest.raises(ConfigurationError):
+            table1_row(a, k=30)
+
+    def test_zero_tail_gives_inf_kappa(self, rng):
+        a = rng.standard_normal((40, 5)) @ rng.standard_normal((5, 30))
+        row = table1_row(a, k=10)
+        assert row["kappa"] > 1e12  # numerically zero tail

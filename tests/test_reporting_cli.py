@@ -1,0 +1,75 @@
+"""Tests for text reporting (repro.bench.reporting) and the CLI."""
+
+import pytest
+
+from repro.bench.reporting import (format_breakdown_table, format_series,
+                                   format_table)
+from repro.cli import main
+
+
+class TestFormatTable:
+    def test_headers_and_rows_aligned(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_scientific_for_small_values(self):
+        out = format_table(["x"], [[1.5e-7]])
+        assert "e-07" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out
+
+
+class TestFormatBreakdown:
+    def test_phases_and_extras(self):
+        pts = [{"m": 10, "total": 1.0, "qp3": 2.0,
+                "breakdown": {"sampling": 0.4, "qr": 0.6}}]
+        out = format_breakdown_table(pts, "m", ["sampling", "qr"],
+                                     extra=["qp3"])
+        assert "sampling" in out and "qp3" in out
+        assert "0.4" in out
+
+    def test_missing_phase_zero(self):
+        pts = [{"m": 10, "total": 1.0, "breakdown": {}}]
+        out = format_breakdown_table(pts, "m", ["comms"])
+        assert "0" in out
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series([1, 2], {"a": [10, 20], "b": [30, 40]},
+                            x_name="m")
+        lines = out.splitlines()
+        assert "m" in lines[0] and "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4
+
+
+class TestCLI:
+    @pytest.mark.parametrize("cmd", ["fig07", "fig08", "fig09", "fig10",
+                                     "fig11", "fig12", "fig13", "fig14",
+                                     "fig15", "fig18"])
+    def test_fast_commands_run(self, cmd, capsys):
+        assert main([cmd]) == 0
+        out = capsys.readouterr().out
+        assert "Figure" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "table1" in out
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_entry_point_registered(self):
+        import repro.cli
+        assert callable(repro.cli.main)

@@ -1,0 +1,106 @@
+"""Tests for the Step 1 sampling operators (repro.core.sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import full_gaussian_sample, sample
+from repro.errors import ConfigurationError, ShapeError
+from repro.gpu.device import GPUExecutor, NumpyExecutor, SymArray
+
+
+class TestGaussianSampling:
+    def test_shape(self, rng):
+        a = rng.standard_normal((200, 50))
+        b = sample(NumpyExecutor(seed=0), a, 16)
+        assert b.shape == (16, 50)
+
+    def test_preserves_range_of_lowrank(self, lowrank_matrix):
+        # B = Omega A has the same row space as A (w.h.p. for l >= rank).
+        b = sample(NumpyExecutor(seed=1), lowrank_matrix, 16)
+        # Every row of B must lie in the row space of A.
+        _, _, vt = np.linalg.svd(lowrank_matrix, full_matrices=False)
+        vr = vt[:12, :]  # row-space basis
+        proj = b @ vr.T @ vr
+        np.testing.assert_allclose(proj, b, atol=1e-8)
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.standard_normal((100, 30))
+        b1 = sample(NumpyExecutor(seed=7), a, 8)
+        b2 = sample(NumpyExecutor(seed=7), a, 8)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_symbolic(self):
+        ex = GPUExecutor(seed=0)
+        b = sample(ex, SymArray((10_000, 500)), 32)
+        assert isinstance(b, SymArray)
+        assert b.shape == (32, 500)
+        assert ex.seconds > 0
+
+    def test_l_too_large_raises(self, rng):
+        with pytest.raises(ShapeError):
+            sample(NumpyExecutor(), rng.standard_normal((10, 5)), 11)
+
+    def test_l_zero_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample(NumpyExecutor(), rng.standard_normal((10, 5)), 0)
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample(NumpyExecutor(), rng.standard_normal((10, 5)), 2,
+                   kind="sparse")
+
+
+class TestFFTSampling:
+    def test_shape(self, rng):
+        a = rng.standard_normal((300, 40))
+        b = sample(NumpyExecutor(seed=0), a, 24, kind="fft")
+        assert b.shape == (24, 40)
+
+    def test_preserves_range_of_lowrank(self, lowrank_matrix):
+        b = sample(NumpyExecutor(seed=3), lowrank_matrix, 24, kind="fft")
+        _, _, vt = np.linalg.svd(lowrank_matrix, full_matrices=False)
+        vr = vt[:12, :]
+        np.testing.assert_allclose(b @ vr.T @ vr, b, atol=1e-8)
+
+    def test_energy_preserved_on_average(self, rng):
+        # The SRFT is an approximate isometry on the row space:
+        # E ||Omega A||_F^2 = l/m * ||F D A||^2-scale.  Check the Frobenius
+        # mass is within a loose factor.
+        a = rng.standard_normal((256, 30))
+        b = sample(NumpyExecutor(seed=5), a, 64, kind="fft")
+        ratio = np.linalg.norm(b, "fro") ** 2 / np.linalg.norm(a, "fro") ** 2
+        assert 0.1 < ratio < 10.0
+
+
+class TestFullGaussianReference:
+    def test_shape(self, rng):
+        a = rng.standard_normal((60, 20))
+        b = full_gaussian_sample(a, 8, rng=np.random.default_rng(0))
+        assert b.shape == (8, 20)
+
+    def test_rows_are_gaussian_mixtures_of_a(self, lowrank_matrix):
+        b = full_gaussian_sample(lowrank_matrix, 10,
+                                 rng=np.random.default_rng(1))
+        _, _, vt = np.linalg.svd(lowrank_matrix, full_matrices=False)
+        vr = vt[:12, :]
+        np.testing.assert_allclose(b @ vr.T @ vr, b, atol=1e-8)
+
+    def test_l_too_large_raises(self, rng):
+        with pytest.raises(ShapeError):
+            full_gaussian_sample(rng.standard_normal((5, 3)), 6)
+
+    def test_statistically_like_pruned(self, rng):
+        """Full and pruned Gaussian sampling draw from the same
+        distribution: compare the singular-value profile of B over
+        repetitions (coarse check)."""
+        a = rng.standard_normal((80, 20))
+        s_full = []
+        s_pruned = []
+        for seed in range(10):
+            g = np.random.default_rng(seed)
+            s_full.append(np.linalg.svd(full_gaussian_sample(a, 6, rng=g),
+                                        compute_uv=False)[0])
+            ex = NumpyExecutor(seed=seed)
+            s_pruned.append(np.linalg.svd(sample(ex, a, 6),
+                                          compute_uv=False)[0])
+        assert np.mean(s_full) == pytest.approx(np.mean(s_pruned), rel=0.5)

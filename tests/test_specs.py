@@ -1,0 +1,91 @@
+"""Tests for hardware specs and anchor curves (repro.gpu.specs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import KEPLER_K40C, AnchorCurve, GPUSpec
+
+
+class TestAnchorCurve:
+    def test_hits_anchors_exactly(self):
+        c = AnchorCurve([(10, 1.0), (100, 10.0), (1000, 50.0)])
+        assert c(10) == pytest.approx(1.0)
+        assert c(100) == pytest.approx(10.0)
+        assert c(1000) == pytest.approx(50.0)
+
+    def test_loglog_interpolation(self):
+        # Two decades, one decade of y: geometric midpoint maps to
+        # geometric midpoint.
+        c = AnchorCurve([(10, 1.0), (1000, 100.0)])
+        assert c(100) == pytest.approx(10.0)
+
+    def test_flat_extrapolation(self):
+        c = AnchorCurve([(10, 2.0), (100, 20.0)])
+        assert c(1) == pytest.approx(2.0)
+        assert c(1e6) == pytest.approx(20.0)
+
+    def test_monotone_between_monotone_anchors(self):
+        c = AnchorCurve([(1, 1.0), (10, 5.0), (100, 9.0)])
+        xs = [1.5, 3, 7, 20, 50, 99]
+        ys = [c(x) for x in xs]
+        assert all(a < b for a, b in zip(ys, ys[1:]))
+
+    def test_unsorted_input_accepted(self):
+        c = AnchorCurve([(100, 10.0), (10, 1.0)])
+        assert c(10) == pytest.approx(1.0)
+
+    def test_single_point_constant(self):
+        c = AnchorCurve([(5, 3.0)])
+        assert c(1) == c(100) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            AnchorCurve([])
+
+    def test_nonpositive_anchor_raises(self):
+        with pytest.raises(ConfigurationError):
+            AnchorCurve([(0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            AnchorCurve([(1, -1.0)])
+
+    def test_duplicate_x_raises(self):
+        with pytest.raises(ConfigurationError):
+            AnchorCurve([(1, 1.0), (1, 2.0)])
+
+    def test_nonpositive_query_raises(self):
+        c = AnchorCurve([(1, 1.0)])
+        with pytest.raises(ConfigurationError):
+            c(0)
+
+
+class TestGPUSpec:
+    def test_default_is_k40c(self):
+        assert "K40c" in KEPLER_K40C.name
+        assert KEPLER_K40C.fp64_peak_gflops == 1430.0
+        assert KEPLER_K40C.mem_bw_gbs == 288.0
+
+    def test_validate_passes_default(self):
+        KEPLER_K40C.validate()
+
+    def test_gemm_cap_cannot_exceed_memory_peak(self):
+        bad = dataclasses.replace(KEPLER_K40C, gemm_bw_cap_gbs=500.0)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_dgemm_peak_below_fp64_peak(self):
+        bad = dataclasses.replace(KEPLER_K40C, dgemm_peak_gflops=2000.0)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_pcie_below_device_memory(self):
+        bad = dataclasses.replace(KEPLER_K40C, pcie_bw_gbs=300.0)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_calibration_curves_present(self):
+        for attr in ("cholqr_ts_curve", "hhqr_ts_curve", "cgs_ts_curve",
+                     "mgs_ts_curve", "cholqr_sw_curve",
+                     "hhqr_sw_curve", "qp3_blas2_curve"):
+            assert isinstance(getattr(KEPLER_K40C, attr), AnchorCurve)

@@ -1,0 +1,94 @@
+"""Tests for the subspace diagnostics (repro.core.subspace)."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import power_iterate
+from repro.core.sampling import sample
+from repro.core.subspace import (captured_energy, principal_angles,
+                                 subspace_alignment)
+from repro.errors import ShapeError
+from repro.gpu.device import NumpyExecutor
+from repro.matrices.synthetic import exponent_matrix, random_orthonormal
+
+
+class TestPrincipalAngles:
+    def test_identical_subspaces(self):
+        q = random_orthonormal(50, 5, seed=0)
+        angles = principal_angles(q, q)
+        np.testing.assert_allclose(angles, 0.0, atol=1e-7)
+
+    def test_orthogonal_subspaces(self):
+        q = random_orthonormal(50, 10, seed=1)
+        angles = principal_angles(q[:, :5], q[:, 5:])
+        np.testing.assert_allclose(angles, np.pi / 2, atol=1e-7)
+
+    def test_known_angle(self):
+        theta = 0.3
+        u = np.array([[1.0], [0.0]])
+        v = np.array([[np.cos(theta)], [np.sin(theta)]])
+        assert principal_angles(u, v)[0] == pytest.approx(theta)
+
+    def test_rows_convention(self):
+        q = random_orthonormal(60, 4, seed=2)
+        np.testing.assert_allclose(principal_angles(q.T, q.T, rows=True),
+                                   0.0, atol=1e-7)
+
+    def test_ascending_order(self, rng):
+        u = rng.standard_normal((40, 6))
+        v = rng.standard_normal((40, 6))
+        angles = principal_angles(u, v)
+        assert all(a <= b + 1e-12 for a, b in zip(angles, angles[1:]))
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            principal_angles(rng.standard_normal((10, 2)),
+                             rng.standard_normal((12, 2)))
+
+
+class TestAlignment:
+    def test_bounds(self, rng):
+        u = rng.standard_normal((30, 4))
+        v = rng.standard_normal((30, 4))
+        assert 0.0 <= subspace_alignment(u, v) <= 1.0
+
+    def test_perfect(self):
+        q = random_orthonormal(30, 4, seed=3)
+        assert subspace_alignment(q, q @ np.diag([2.0, 3, 4, 5])) \
+            == pytest.approx(1.0)
+
+    def test_rises_with_power_iterations(self):
+        a = exponent_matrix(300, 100, seed=4)
+        _, _, vt = np.linalg.svd(a, full_matrices=False)
+        vk = vt[:10, :]
+        scores = []
+        for q in (0, 2):
+            ex = NumpyExecutor(seed=5)
+            b = sample(ex, a, 12)
+            b, _ = power_iterate(ex, a, b, q=q)
+            scores.append(subspace_alignment(vk.T, np.asarray(b).T))
+        assert scores[1] > scores[0]
+
+
+class TestCapturedEnergy:
+    def test_full_basis_captures_all(self):
+        a = exponent_matrix(100, 40, seed=6)
+        _, _, vt = np.linalg.svd(a, full_matrices=False)
+        assert captured_energy(a, vt) == pytest.approx(1.0)
+
+    def test_partial_matches_sigma_sum(self):
+        a = exponent_matrix(100, 40, seed=7)
+        s = np.linalg.svd(a, compute_uv=False)
+        _, _, vt = np.linalg.svd(a, full_matrices=False)
+        expect = float(np.sum(s[:10] ** 2) / np.sum(s ** 2))
+        assert captured_energy(a, vt[:10, :]) == pytest.approx(expect,
+                                                               rel=1e-10)
+
+    def test_columns_convention(self):
+        a = exponent_matrix(100, 40, seed=8)
+        u, _, _ = np.linalg.svd(a, full_matrices=False)
+        e = captured_energy(a, u[:, :10], rows=False)
+        assert 0.9 < e <= 1.0
+
+    def test_zero_matrix(self):
+        assert captured_energy(np.zeros((5, 5)), np.eye(5)) == 1.0

@@ -1,0 +1,126 @@
+"""Tests for the synthetic Table 1 matrices (repro.matrices.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.synthetic import (exponent_matrix, exponent_spectrum,
+                                      power_matrix, power_spectrum,
+                                      random_orthonormal, spectrum_matrix)
+
+from tests.helpers import assert_orthonormal_columns
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal(self, rng):
+        q = random_orthonormal(100, 20, seed=rng)
+        assert_orthonormal_columns(q)
+
+    def test_square(self):
+        q = random_orthonormal(15, 15, seed=0)
+        np.testing.assert_allclose(q @ q.T, np.eye(15), atol=1e-12)
+
+    def test_seeded_reproducible(self):
+        np.testing.assert_array_equal(random_orthonormal(30, 5, seed=42),
+                                      random_orthonormal(30, 5, seed=42))
+
+    def test_different_seeds_differ(self):
+        a = random_orthonormal(30, 5, seed=1)
+        b = random_orthonormal(30, 5, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_wide_raises(self):
+        with pytest.raises(ShapeError):
+            random_orthonormal(5, 10)
+
+    def test_haar_sign_convention(self):
+        # The sign fix makes the distribution Haar; a necessary symptom
+        # is that column means are centered (weak sanity check).
+        q = random_orthonormal(2000, 3, seed=3)
+        assert np.all(np.abs(q.mean(axis=0)) < 0.05)
+
+
+class TestSpectra:
+    def test_power_values(self):
+        s = power_spectrum(5)
+        np.testing.assert_allclose(s, [1.0, 2.0 ** -3, 3.0 ** -3,
+                                       4.0 ** -3, 5.0 ** -3])
+
+    def test_power_table1_sigma51(self):
+        # Table 1: sigma_{k+1} ~ 8e-6 at k = 50.
+        s = power_spectrum(500)
+        assert s[51] == pytest.approx(52.0 ** -3)
+        assert 7e-6 < s[51] < 9e-6
+
+    def test_exponent_values(self):
+        s = exponent_spectrum(21)
+        assert s[0] == 1.0
+        assert s[10] == pytest.approx(0.1)
+        assert s[20] == pytest.approx(0.01)
+
+    def test_exponent_table1_sigma51(self):
+        # Table 1 quotes sigma_{k+1} ~ 1.3e-5 at k = 50; that value is
+        # 10^(-4.9), i.e. the paper's indexing starts the decade count
+        # at 1.  Our 0-based s[49] carries it; s[51] = 10^(-5.1).
+        s = exponent_spectrum(500)
+        assert s[49] == pytest.approx(1.26e-5, rel=0.02)
+        assert s[51] == pytest.approx(10 ** -5.1, rel=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            power_spectrum(0)
+        with pytest.raises(ShapeError):
+            exponent_spectrum(0)
+
+
+class TestSpectrumMatrix:
+    def test_singular_values_match(self, rng):
+        spec = np.array([5.0, 2.0, 1.0, 0.1])
+        a = spectrum_matrix(50, 20, spec, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        np.testing.assert_allclose(s[:4], spec, atol=1e-12)
+        np.testing.assert_allclose(s[4:], 0.0, atol=1e-12)
+
+    def test_return_factors(self):
+        spec = np.array([2.0, 1.0])
+        a, x, y = spectrum_matrix(30, 10, spec, seed=1, return_factors=True)
+        np.testing.assert_allclose((x * spec) @ y.T, a, atol=1e-14)
+        assert_orthonormal_columns(x)
+        assert_orthonormal_columns(y)
+
+    def test_spectrum_too_long_raises(self):
+        with pytest.raises(ShapeError):
+            spectrum_matrix(10, 5, np.ones(6))
+
+    def test_negative_spectrum_raises(self):
+        with pytest.raises(ShapeError):
+            spectrum_matrix(10, 5, np.array([1.0, -1.0]))
+
+    def test_2d_spectrum_raises(self):
+        with pytest.raises(ShapeError):
+            spectrum_matrix(10, 5, np.ones((2, 2)))
+
+
+class TestPaperMatrices:
+    def test_power_matrix_spectrum(self):
+        a = power_matrix(200, 60, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        np.testing.assert_allclose(s, power_spectrum(60), atol=1e-12)
+
+    def test_exponent_matrix_spectrum(self):
+        a = exponent_matrix(200, 60, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        np.testing.assert_allclose(s, exponent_spectrum(60), atol=1e-10)
+
+    def test_kappa_at_k50(self):
+        # Table 1 reports kappa = sigma_0/sigma_{k+1}: 1.3e5 (power)
+        # and 7.9e4 (exponent); allow for the paper's one-off indexing
+        # convention (a factor 10^0.2 for the exponent spectrum).
+        sp = power_spectrum(500)
+        se = exponent_spectrum(500)
+        assert sp[0] / sp[51] == pytest.approx(1.3e5, rel=0.15)
+        assert 7.9e4 * 0.8 < se[0] / se[49] < 1.26e5 * 1.2
+
+    def test_seeded(self):
+        np.testing.assert_array_equal(power_matrix(50, 20, seed=9),
+                                      power_matrix(50, 20, seed=9))

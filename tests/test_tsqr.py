@@ -1,0 +1,72 @@
+"""Tests for the communication-avoiding TSQR (repro.qr.tsqr)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrices.synthetic import spectrum_matrix
+from repro.qr.tsqr import tsqr
+
+from tests.helpers import assert_orthonormal_columns
+
+
+class TestTSQR:
+    @pytest.mark.parametrize("leaves", [1, 2, 4, 8, 16])
+    def test_reconstruction(self, rng, leaves):
+        a = rng.standard_normal((640, 20))
+        q, r = tsqr(a, leaf_count=leaves)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    @pytest.mark.parametrize("leaves", [2, 4, 8])
+    def test_orthonormal(self, rng, leaves):
+        a = rng.standard_normal((640, 20))
+        q, _ = tsqr(a, leaf_count=leaves)
+        assert_orthonormal_columns(q)
+
+    def test_r_upper_triangular(self, rng):
+        a = rng.standard_normal((300, 15))
+        _, r = tsqr(a, leaf_count=4)
+        np.testing.assert_allclose(r, np.triu(r))
+        assert r.shape == (15, 15)
+
+    def test_odd_leaf_count(self, rng):
+        a = rng.standard_normal((500, 16))
+        q, r = tsqr(a, leaf_count=5)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+        assert_orthonormal_columns(q)
+
+    def test_default_leaf_count(self, rng):
+        a = rng.standard_normal((1000, 10))
+        q, r = tsqr(a)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+        assert_orthonormal_columns(q)
+
+    def test_minimum_height(self, rng):
+        a = rng.standard_normal((21, 20))
+        q, r = tsqr(a, leaf_count=8)  # clamps to what fits
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_wide_raises(self, rng):
+        with pytest.raises(ShapeError):
+            tsqr(rng.standard_normal((10, 20)))
+
+    def test_matches_householder_abs_r(self, rng):
+        a = rng.standard_normal((400, 12))
+        _, r = tsqr(a, leaf_count=4)
+        _, r_np = np.linalg.qr(a)
+        np.testing.assert_allclose(np.abs(np.diag(r)),
+                                   np.abs(np.diag(r_np)), atol=1e-10)
+
+    def test_stable_on_illconditioned(self):
+        # The case CholQR fails on (kappa ~ 1e12) — TSQR is a
+        # reorganized Householder QR and must stay orthonormal.
+        a = spectrum_matrix(800, 30, 10.0 ** (-np.linspace(0, 12, 30)),
+                            seed=4)
+        q, r = tsqr(a, leaf_count=8)
+        assert_orthonormal_columns(q, tol=1e-12)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_single_column(self, rng):
+        a = rng.standard_normal((128, 1))
+        q, r = tsqr(a, leaf_count=4)
+        np.testing.assert_allclose(q * r[0, 0], a, atol=1e-12)

@@ -1,0 +1,54 @@
+"""Execute every Python block in docs/tutorial.md.
+
+The tutorial's code blocks share one namespace (like a reader's REPL
+session), so later sections can use names from earlier ones.  A block
+that raises fails the test with its section heading in the message.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = (pathlib.Path(__file__).resolve().parent.parent
+            / "docs" / "tutorial.md")
+
+
+def _python_blocks():
+    text = TUTORIAL.read_text()
+    blocks = []
+    heading = "(top)"
+    in_block = None
+    for line in text.splitlines():
+        if line.startswith("#"):
+            heading = line.lstrip("# ").strip() or heading
+        if line.strip() == "```python":
+            in_block = []
+        elif line.strip() == "```" and in_block is not None:
+            blocks.append((heading, "\n".join(in_block)))
+            in_block = None
+        elif in_block is not None:
+            in_block.append(line)
+    return blocks
+
+
+def test_tutorial_has_blocks():
+    blocks = _python_blocks()
+    assert len(blocks) >= 7
+
+
+def test_tutorial_blocks_execute():
+    namespace: dict = {}
+    for heading, code in _python_blocks():
+        try:
+            exec(compile(code, f"tutorial:{heading}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure path
+            pytest.fail(f"tutorial block under {heading!r} failed: "
+                        f"{exc!r}")
+
+
+def test_tutorial_mentions_cli_commands():
+    text = TUTORIAL.read_text()
+    from repro.cli import _COMMANDS
+    assert "diff" in _COMMANDS
+    assert "python -m repro.cli diff" in text
