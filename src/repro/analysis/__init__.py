@@ -1,0 +1,56 @@
+"""Static analysis for the simulated-GPU executor contract.
+
+The reproduction's performance figures are only as faithful as three
+invariants nothing else enforces: every FLOP in :mod:`repro.core` is
+charged through an executor (so modeled times follow the K40c rate
+models), every charge lands on one of the paper's seven phase-legend
+tags (Figures 11-15), and every path stays safe under symbolic
+:class:`repro.gpu.SymArray` execution at paper scale.  This package is
+the compiler-grade checker for those invariants, plus repo hygiene:
+
+======  =====================================================
+RS101   untimed math inside ``repro.core`` (bypasses executor)
+RS102   phase tag not in ``repro.gpu.trace.PHASES``
+RS103   value-dependent op on ArrayLike without symbolic guard
+RS104   ``raise ValueError``/... instead of ``repro.errors``
+RS105   legacy ``np.random.*`` bypassing seeded Generators
+RS106   missing ``__all__`` / export drift
+======  =====================================================
+
+Run ``python -m repro.analysis src/repro`` (or ``python -m repro.cli
+analyze``); see ``docs/static_analysis.md`` for the rule reference,
+the ``# repro: noqa RSxxx`` suppression syntax, and baselines.
+
+This ``__init__`` stays import-light (only the finding dataclass and
+the :func:`allow_untimed_math` marker) because algorithm modules import
+the marker at package-import time; the engine and rules load lazily
+when an analysis actually runs.
+"""
+
+from __future__ import annotations
+
+from .annotations import allow_untimed_math
+from .findings import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+                       AnalysisFinding)
+
+__all__ = [
+    "AnalysisFinding",
+    "allow_untimed_math",
+    "analyze_paths",
+    "main",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+]
+
+
+def analyze_paths(*args, **kwargs):
+    """Lazy proxy for :func:`repro.analysis.engine.analyze_paths`."""
+    from .engine import analyze_paths as _impl
+    return _impl(*args, **kwargs)
+
+
+def main(argv=None):
+    """Lazy proxy for :func:`repro.analysis.cli.main`."""
+    from .cli import main as _impl
+    return _impl(argv)

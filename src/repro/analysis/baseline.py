@@ -1,0 +1,87 @@
+"""Committed-baseline support.
+
+A baseline is a JSON file recording the fingerprints of known,
+accepted findings so a newly introduced checker can land without a
+big-bang cleanup, while any *new* violation still fails CI.  The
+fingerprint excludes line numbers (see
+:meth:`repro.analysis.findings.AnalysisFinding.fingerprint`), so
+unrelated edits don't invalidate it; each fingerprint carries a count,
+so adding a second identical violation in the same function is still
+caught.
+
+Regenerate with ``python -m repro.analysis src/repro --write-baseline``
+after an intentional change, and commit the result.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import StaticAnalysisError
+from .findings import AnalysisFinding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
+           "apply_baseline"]
+
+#: Conventional location, relative to the invocation directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into a fingerprint -> count map."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StaticAnalysisError(f"cannot read baseline {path}: {exc}")
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise StaticAnalysisError(
+            f"baseline {path} has unsupported format; regenerate with "
+            "--write-baseline")
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict) or not all(
+            isinstance(v, int) and v > 0 for v in findings.values()):
+        raise StaticAnalysisError(f"baseline {path} is malformed")
+    return dict(findings)
+
+
+def write_baseline(path: Path, findings: List[AnalysisFinding]) -> None:
+    """Write the fingerprints of ``findings`` as the new baseline."""
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": _VERSION,
+        "comment": ("accepted pre-existing findings; regenerate with "
+                    "`python -m repro.analysis <paths> --write-baseline`"),
+        "findings": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: List[AnalysisFinding],
+                   baseline: Dict[str, int],
+                   ) -> Tuple[List[AnalysisFinding], int, List[str]]:
+    """Split findings into (new, n_baselined, stale_fingerprints).
+
+    For each fingerprint, up to the baselined count of occurrences is
+    suppressed; anything beyond that is new.  Fingerprints in the
+    baseline that no longer occur at all are reported as *stale* so the
+    file can be re-tightened (stale entries are informational, not a
+    failure).
+    """
+    budget = dict(baseline)
+    new: List[AnalysisFinding] = []
+    suppressed = 0
+    for f in findings:
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            new.append(f)
+    stale = sorted(fp for fp, remaining in budget.items()
+                   if remaining == baseline.get(fp, 0) and remaining > 0)
+    return new, suppressed, stale

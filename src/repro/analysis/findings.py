@@ -1,0 +1,71 @@
+"""Finding objects and the exit-code contract shared by CLI and CI.
+
+A finding is one rule violation at one source location.  Findings are
+hashable through a *fingerprint* that deliberately excludes line and
+column numbers: baselined findings must survive unrelated edits that
+shift code up or down, so the fingerprint keys on the rule, the file,
+the enclosing definition, and the message text instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+__all__ = [
+    "AnalysisFinding",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+]
+
+#: Exit code when the tree is clean (or every finding is baselined).
+EXIT_CLEAN = 0
+#: Exit code when at least one non-baselined finding was reported.
+EXIT_FINDINGS = 1
+#: Exit code for usage/configuration errors (bad path, bad rule name).
+EXIT_ERROR = 2
+
+
+@dataclass(frozen=True)
+class AnalysisFinding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier (``RS101`` ... ``RS106``).
+    path:
+        Path of the offending file, as scanned (normalized to posix
+        separators so fingerprints agree across platforms).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description; stable across unrelated edits.
+    context:
+        Dotted name of the enclosing definition (``<module>`` for
+        module-level findings) — part of the baseline fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = "<module>"
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline file."""
+        digest = hashlib.sha1(self.message.encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule}:{self.path}:{self.context}:{digest}"
+
+    def render(self) -> str:
+        """The one-line human format: ``path:line:col: RSxxx message``."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+    def to_dict(self) -> Dict:
+        out = asdict(self)
+        out["fingerprint"] = self.fingerprint()
+        return out

@@ -1,0 +1,211 @@
+"""Repo-hygiene rules: RS104 error-taxonomy, RS105 nondeterministic-rng,
+RS106 missing-``__all__`` / export drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .engine import BaseChecker, register
+from .rules_executor import dotted_name
+
+__all__ = ["ErrorTaxonomyChecker", "NondeterministicRngChecker",
+           "ExportDriftChecker"]
+
+
+@register
+class ErrorTaxonomyChecker(BaseChecker):
+    """RS104: raise the :mod:`repro.errors` hierarchy, not bare builtins.
+
+    Callers are promised that every library failure derives from
+    ``ReproError`` — a bare ``raise ValueError`` escapes that contract.
+    The hierarchy's multiple-inheritance classes (``ShapeError`` is a
+    ``ValueError``, etc.) make the switch free for callers.
+    """
+
+    rule = "RS104"
+    summary = "raise repro.errors classes instead of bare builtins"
+
+    _BANNED = {"ValueError", "TypeError", "RuntimeError", "KeyError",
+               "IndexError", "ArithmeticError", "Exception", "OSError"}
+    #: Mapping used to suggest the closest in-hierarchy replacement.
+    _SUGGEST = {"ValueError": "ConfigurationError or ShapeError",
+                "TypeError": "ConfigurationError",
+                "RuntimeError": "DeviceError or ConvergenceError",
+                "ArithmeticError": "NotOrthogonalError or "
+                                   "CholeskyBreakdownError"}
+
+    def run(self):
+        # The hierarchy module itself is the one place allowed to talk
+        # about builtin exception classes.
+        if self.ctx.relpath.endswith("errors.py"):
+            return self.findings
+        return super().run()
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = dotted_name(exc) if exc is not None else ""
+        if name in self._BANNED:
+            hint = self._SUGGEST.get(name, "a ReproError subclass")
+            self.emit(node, f"raise {name} bypasses the repro.errors "
+                            f"hierarchy; use {hint} (see repro/errors.py)")
+        self.generic_visit(node)
+
+
+@register
+class NondeterministicRngChecker(BaseChecker):
+    """RS105: randomness must flow through seeded ``Generator`` plumbing.
+
+    The executors own a seeded ``np.random.default_rng`` so every run
+    is reproducible end to end; legacy global-state calls
+    (``np.random.rand``, ``np.random.seed``, ...) bypass that plumbing
+    and make figures non-reproducible.
+    """
+
+    rule = "RS105"
+    summary = ("module-level np.random.* call bypasses the seeded "
+               "Generator plumbing")
+
+    _ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64",
+                "PCG64DXSM", "Philox", "MT19937", "BitGenerator"}
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        parts = name.split(".")
+        if (len(parts) == 3 and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in self._ALLOWED):
+            self.emit(node, f"{name}() uses the legacy global RNG; pass "
+                            "a seeded np.random.Generator (executor.rng "
+                            "or np.random.default_rng(seed)) instead")
+        self.generic_visit(node)
+
+
+def _literal_strings(node: ast.expr) -> Optional[List[str]]:
+    """Statically evaluate an ``__all__`` value to a list of strings.
+
+    Supports list/tuple displays and ``+`` concatenations of them;
+    returns ``None`` when the value is not statically resolvable.
+    """
+    if isinstance(node, (ast.List, ast.Tuple)):
+        out: List[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt.value)
+            else:
+                return None
+        return out
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _literal_strings(node.left)
+        right = _literal_strings(node.right)
+        if left is not None and right is not None:
+            return left + right
+    return None
+
+
+@register
+class ExportDriftChecker(BaseChecker):
+    """RS106: every module declares ``__all__`` and it matches reality.
+
+    Missing ``__all__`` makes ``from module import *`` and the API docs
+    drift silently; names listed but no longer defined are the same bug
+    in the other direction.
+    """
+
+    rule = "RS106"
+    summary = "missing __all__, or __all__ names a binding that no longer exists"
+
+    def run(self):
+        # Entry-point stubs export nothing by design.
+        if self.ctx.relpath.endswith("__main__.py"):
+            return self.findings
+        tree = self.ctx.tree
+        bound = self._module_bindings(tree)
+        all_node = self._find_all(tree)
+        if all_node is None:
+            if self._has_public_defs(tree):
+                self.emit(tree, "module defines public names but no "
+                                "__all__; declare the export list")
+            return self.findings
+        names = _literal_strings(all_node.value)
+        if names is None:
+            self.emit(all_node, "__all__ is not a static list of string "
+                                "literals; the analyzer (and doc tools) "
+                                "cannot verify it")
+            return self.findings
+        if "*" in bound:
+            return self.findings  # star-import: drift is unverifiable
+        for name in names:
+            if name not in bound:
+                self.emit(all_node, f"__all__ exports {name!r} but the "
+                                    "module never binds that name")
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                self.emit(all_node, f"__all__ lists {name!r} twice")
+            seen.add(name)
+        return self.findings
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[ast.Assign]:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == "__all__":
+                        return stmt
+        return None
+
+    @staticmethod
+    def _has_public_defs(tree: ast.Module) -> bool:
+        return any(
+            isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef))
+            and not s.name.startswith("_")
+            for s in tree.body)
+
+    @staticmethod
+    def _module_bindings(tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+
+        def add_target(t: ast.expr) -> None:
+            if isinstance(t, ast.Name):
+                bound.add(t.id)
+            elif isinstance(t, (ast.Tuple, ast.List)):
+                for e in t.elts:
+                    add_target(e)
+
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    add_target(t)
+            elif isinstance(stmt, ast.AnnAssign):
+                add_target(stmt.target)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        # `from x import *`: anything may be bound.
+                        return bound | {"*"}
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # One level of conditional definition (TYPE_CHECKING,
+                # version guards) is enough for this codebase.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.ClassDef)):
+                        bound.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for t in sub.targets:
+                            add_target(t)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name != "*":
+                                bound.add((alias.asname
+                                           or alias.name).split(".")[0])
+        return bound

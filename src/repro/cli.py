@@ -308,13 +308,23 @@ _COMMANDS: Dict[str, Callable[[], None]] = {
 
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.cli`` / ``repro-bench``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `repro-bench analyze ...` delegates everything after the subcommand
+    # to the static analyzer (same engine as `python -m repro.analysis`).
+    if argv and argv[0] == "analyze":
+        from .analysis.cli import main as analyze_main
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures; "
+                    "'analyze' runs the repo's static analyzer.")
     parser.add_argument("experiment",
                         choices=sorted(_COMMANDS) + ["all", "list"],
                         help="which experiment to run ('all' runs every "
-                             "one; 'list' prints the available names)")
+                             "one; 'list' prints the available names; "
+                             "'analyze' runs the static analyzer — see "
+                             "'analyze --help')")
     parser.add_argument("--full-scale", action="store_true",
                         help="use the paper's matrix sizes for the "
                              "numerics experiments (slow)")

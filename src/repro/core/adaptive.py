@@ -34,6 +34,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..config import AdaptiveConfig
 from ..errors import ConvergenceError
 from ..qr.utils import ensure_all_finite
@@ -114,6 +115,8 @@ class AdaptiveResult:
                        max(1, last.estimator_rows), m, n, gamma=gamma)
         return bound
 
+    @allow_untimed_math("post-hoc diagnostic against the true matrix; "
+                        "never part of a modeled device run")
     def actual_error(self, a: np.ndarray, relative: bool = False) -> float:
         """``||A - A B^T B||_2`` — the dashed "actual error" line of
         Figure 16."""
@@ -233,7 +236,7 @@ def adaptive_sampling(a: ArrayLike, config: AdaptiveConfig,
             # residue of exhausted directions collapses and is dropped.
             w2 = ex.block_orth_rows(basis, new_b,
                                     reorth=config.reorthogonalize)
-            norms = np.linalg.norm(np.asarray(w2), axis=1)
+            norms = ex.row_norms(w2, phase="orth_iter")
             keep = norms > _DEGENERATE_ROW_TOL
             if not np.all(keep):
                 w2 = np.asarray(w2)[keep, :]
@@ -255,6 +258,11 @@ def adaptive_sampling(a: ArrayLike, config: AdaptiveConfig,
         # --- generate fresh vectors (lines 11-13) -----------------------
         inc = _next_increment(config, steps, inc)
         inc = min(inc, max(1, m - l))
+        if l < cap:
+            # Never overshoot the cap: the last block is shrunk so the
+            # subspace can reach exactly `cap` (= full numerical rank
+            # when cap = min(m, n)) before the scheme gives up.
+            inc = min(inc, cap - l)
         pending = sample(ex, a, inc, kind="gaussian")
 
         # --- error estimate (line 15) -----------------------------------
@@ -266,7 +274,7 @@ def adaptive_sampling(a: ArrayLike, config: AdaptiveConfig,
         if eps <= config.tolerance:
             return AdaptiveResult(basis=basis, steps=steps, converged=True,
                                   seconds=ex.seconds - t0, shape=(m, n))
-        if l + inc > cap:
+        if l >= cap:
             raise ConvergenceError(
                 f"adaptive scheme hit the subspace cap ({cap}) at "
                 f"eps_tilde = {eps:.3e} > {config.tolerance:.3e}",

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..config import SamplingConfig
 from ..errors import ShapeError, SymbolicExecutionError
 from ..qr.utils import ensure_all_finite
@@ -55,15 +56,30 @@ class CURDecomposition:
     def k(self) -> int:
         return int(self.cols.shape[0])
 
+    @allow_untimed_math("host-side materialization for inspection; "
+                        "never on the modeled device path")
     def approximation(self) -> np.ndarray:
         return self.c @ self.u @ self.r
 
+    @allow_untimed_math("host-side diagnostic error norm")
     def residual(self, a: np.ndarray, relative: bool = True) -> float:
         err = float(np.linalg.norm(a - self.approximation(), ord=2))
         if relative:
             na = float(np.linalg.norm(a, ord=2))
             return err / na if na > 0 else err
         return err
+
+
+@allow_untimed_math("CUR core solve runs on the host: the paper's GPU "
+                    "pipeline ends at the pivot selection, and LAPACK "
+                    "lstsq has no kernel model")
+def _core_factor(c: np.ndarray, a_np: np.ndarray,
+                 r: np.ndarray) -> np.ndarray:
+    """The least-squares-optimal core ``U = C^+ A R^+`` via two solves:
+    ``X = C^+ A`` (k x n), then ``U = X R^+ = (R^+^T X^T)^T``."""
+    x, *_ = np.linalg.lstsq(c, a_np, rcond=None)
+    u_t, *_ = np.linalg.lstsq(r.T, x.T, rcond=None)
+    return u_t.T
 
 
 def _select_pivots(ex: NumpyExecutor, a: ArrayLike,
@@ -118,8 +134,5 @@ def cur_decomposition(a: ArrayLike, config: SamplingConfig,
     a_np = np.asarray(a)
     c = a_np[:, cols]
     r = a_np[rows, :]
-    # U = C^+ A R^+ via two least-squares solves:
-    #   X = C^+ A   (k x n);  U = X R^+ = (R^+^T X^T)^T.
-    x, *_ = np.linalg.lstsq(c, a_np, rcond=None)
-    u_t, *_ = np.linalg.lstsq(r.T, x.T, rcond=None)
-    return CURDecomposition(cols=cols, rows=rows, c=c, u=u_t.T, r=r)
+    return CURDecomposition(cols=cols, rows=rows, c=c,
+                            u=_core_factor(c, a_np, r), r=r)

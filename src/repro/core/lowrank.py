@@ -13,6 +13,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..errors import ShapeError, SymbolicExecutionError
 from ..gpu.device import ArrayLike, is_symbolic
 from ..gpu.trace import TimeLine
@@ -20,6 +21,8 @@ from ..gpu.trace import TimeLine
 __all__ = ["LowRankFactors", "spectral_error", "best_rank_k_error"]
 
 
+@allow_untimed_math("reference error measure computed on the host "
+                    "(Figure 6); never on the modeled device path")
 def spectral_error(a: np.ndarray, approx: np.ndarray,
                    relative: bool = True) -> float:
     """``||A - approx||_2`` (optionally over ``||A||_2``), the error
@@ -33,6 +36,8 @@ def spectral_error(a: np.ndarray, approx: np.ndarray,
     return err
 
 
+@allow_untimed_math("Eckart-Young reference optimum via host LAPACK; "
+                    "a measurement yardstick, not a modeled kernel")
 def best_rank_k_error(a: np.ndarray, k: int, relative: bool = True) -> float:
     """``sigma_{k+1}(A)`` — the optimal rank-``k`` spectral error
     (Eckart-Young), the floor every algorithm is judged against."""
@@ -74,6 +79,8 @@ class LowRankFactors:
                 "this result came from a symbolic (timing-only) run; "
                 "re-run with a real matrix for numerical factors")
 
+    @allow_untimed_math("host-side materialization for inspection; "
+                        "never on the modeled device path")
     def approximation(self) -> np.ndarray:
         """Rank-``k`` approximation of ``A`` in original column order."""
         self._require_real()
@@ -82,6 +89,7 @@ class LowRankFactors:
         out[:, self.perm] = qr
         return out
 
+    @allow_untimed_math("host-side diagnostic (Figure 6 error norm)")
     def residual(self, a: np.ndarray, relative: bool = True) -> float:
         """``||A P - Q R|| / ||A||`` — the Figure 6 error norm."""
         self._require_real()

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..errors import ConfigurationError, ShapeError
 from ..gpu.device import ArrayLike, NumpyExecutor, shape_of
 
@@ -59,6 +60,8 @@ def sample(ex: NumpyExecutor, a: ArrayLike, l: int,
     raise ConfigurationError(f"unknown sampler kind {kind!r}")
 
 
+@allow_untimed_math("reference full-sampling path kept only to test "
+                    "the pruned-vs-full cost claim; never the fast path")
 def full_gaussian_sample(a: np.ndarray, l: int,
                          rng: Optional[np.random.Generator] = None
                          ) -> np.ndarray:

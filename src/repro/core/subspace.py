@@ -13,12 +13,15 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..errors import ShapeError
 from ..qr.utils import as_2d_float
 
 __all__ = ["principal_angles", "subspace_alignment", "captured_energy"]
 
 
+@allow_untimed_math("subspace diagnostics run on the host against "
+                    "reference bases; never on the modeled device path")
 def _orthonormal_basis(x: np.ndarray, rows: bool) -> np.ndarray:
     """Column-orthonormal basis of the span of ``x`` (rows or columns)."""
     x = as_2d_float(x, "x")
@@ -27,6 +30,8 @@ def _orthonormal_basis(x: np.ndarray, rows: bool) -> np.ndarray:
     return q
 
 
+@allow_untimed_math("Björck-Golub angles are a host-side quality "
+                    "diagnostic, not a modeled kernel")
 def principal_angles(u: np.ndarray, v: np.ndarray,
                      rows: bool = False) -> np.ndarray:
     """Principal angles (radians, ascending) between two subspaces.
@@ -58,6 +63,7 @@ def subspace_alignment(u: np.ndarray, v: np.ndarray,
     return float(np.mean(np.cos(angles) ** 2))
 
 
+@allow_untimed_math("host-side quality diagnostic, not a modeled kernel")
 def captured_energy(a: np.ndarray, basis: np.ndarray,
                     rows: bool = True) -> float:
     """Fraction of ``||A||_F^2`` captured by projecting onto ``basis``.

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.annotations import allow_untimed_math
 from ..config import SamplingConfig
 from ..errors import ShapeError, SymbolicExecutionError
 from ..qr.utils import ensure_all_finite
@@ -57,10 +58,13 @@ class RandomizedSVD:
     def k(self) -> int:
         return int(self.s.shape[0])
 
+    @allow_untimed_math("host-side materialization for inspection; "
+                        "never on the modeled device path")
     def approximation(self) -> np.ndarray:
         """Materialize the rank-``k`` approximation."""
         return (self.u * self.s) @ self.vt
 
+    @allow_untimed_math("host-side diagnostic (Figure 6 error norm)")
     def residual(self, a: np.ndarray, relative: bool = True) -> float:
         """Spectral-norm approximation error."""
         err = float(np.linalg.norm(a - self.approximation(), ord=2))
@@ -109,12 +113,13 @@ def randomized_svd(a: ArrayLike, config: SamplingConfig,
                          reorthogonalize=config.reorthogonalize)
     b = ex.orth_rows(b, scheme=config.orth, phase="orth_iter")
 
-    # Stage B: project, factor, small SVD.
+    # Stage B: project, factor, small SVD — every step charged through
+    # the executor so the modeled cost profile stays faithful.
     y = ex.iter_gemm_at(b, a).T          # Y = A B^T  (m x l)
     qy, ry = ex.qr_selected(np.ascontiguousarray(y), scheme="cholqr2")
-    u_s, s, vt_s = np.linalg.svd(np.asarray(ry), full_matrices=False)
-    u = np.asarray(qy) @ u_s[:, :k]
-    vt = vt_s[:k, :] @ np.asarray(b)
+    u_s, s, vt_s = ex.svd_small(ry, phase="other")
+    u = np.asarray(ex.gemm(qy, u_s[:, :k], phase="other"))
+    vt = np.asarray(ex.gemm(vt_s[:k, :], b, phase="other"))
     return RandomizedSVD(u=u, s=s[:k], vt=vt, sample_size=l,
                          power_iterations=config.power_iterations,
                          seconds=ex.seconds)

@@ -17,6 +17,7 @@ __all__ = [
     "OutOfDeviceMemoryError",
     "SymbolicExecutionError",
     "ConfigurationError",
+    "StaticAnalysisError",
 ]
 
 
@@ -81,3 +82,14 @@ class SymbolicExecutionError(DeviceError):
 
 class ConfigurationError(ReproError, ValueError):
     """A configuration dataclass was constructed with invalid values."""
+
+
+class StaticAnalysisError(ReproError, RuntimeError):
+    """The :mod:`repro.analysis` checker could not complete a run.
+
+    Raised for usage/configuration problems — unparseable source, an
+    unknown rule id, a malformed baseline file — never for findings
+    (findings are data, reported via
+    :class:`repro.analysis.AnalysisFinding` and the exit-code
+    contract: 0 clean, 1 findings, 2 this error).
+    """

@@ -205,6 +205,8 @@ class NumpyExecutor:
     def _t_qrcp(self, m: int, n: int, k: int) -> None: ...
     def _t_trsolve(self, rows: int, cols: int, phase: str) -> None: ...
     def _t_copy(self, nbytes: int, phase: str) -> None: ...
+    def _t_svd(self, m: int, n: int, phase: str) -> None: ...
+    def _t_rownorms(self, rows: int, cols: int, phase: str) -> None: ...
 
     # -- operations -------------------------------------------------------
     def prng_gaussian(self, rows: int, cols: int,
@@ -435,6 +437,42 @@ class NumpyExecutor:
         """Stack sampled blocks (subspace growth in the adaptive loop)."""
         return _vstack(parts)
 
+    def gemm(self, x: ArrayLike, y: ArrayLike,
+             phase: str = "other") -> ArrayLike:
+        """General timed product ``X Y`` for post-processing steps that
+        have no dedicated kernel (e.g. the randomized-SVD Stage-B
+        factor assembly)."""
+        m, k = shape_of(x)
+        n = shape_of(y)[1]
+        self._t_gemm(m, n, k, phase=phase)
+        return _mm(x, y)
+
+    def svd_small(self, r: ArrayLike, phase: str = "other"
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense SVD of a small factor (the ``l x l`` tail of the
+        randomized SVD).  Value-dependent, so symbolic inputs raise
+        :class:`repro.errors.SymbolicExecutionError`."""
+        m, n = shape_of(r)
+        self._t_svd(m, n, phase)
+        if is_symbolic(r):
+            raise SymbolicExecutionError(
+                "the small SVD is value-dependent; run with a concrete "
+                "matrix")
+        return np.linalg.svd(np.asarray(r), full_matrices=False)
+
+    def row_norms(self, x: ArrayLike,
+                  phase: str = "orth_iter") -> np.ndarray:
+        """Per-row 2-norms (the adaptive scheme's DGKS degeneracy
+        guard).  Value-dependent, so symbolic inputs raise
+        :class:`repro.errors.SymbolicExecutionError`."""
+        rows, cols = shape_of(x)
+        self._t_rownorms(rows, cols, phase)
+        if is_symbolic(x):
+            raise SymbolicExecutionError(
+                "row norms are value-dependent; run with a concrete "
+                "matrix")
+        return np.linalg.norm(np.asarray(x), axis=1)
+
 
 class GPUExecutor(NumpyExecutor):
     """Single simulated GPU: NumPy math + modeled kernel time."""
@@ -535,3 +573,12 @@ class GPUExecutor(NumpyExecutor):
         secs = (2 * nbytes / (self.device.spec.mem_bw_gbs * 1e9)
                 + self.device.spec.kernel_launch_s)
         self.device.charge(phase, secs, label=f"copy {nbytes}B")
+
+    def _t_svd(self, m: int, n: int, phase: str) -> None:
+        self.device.charge(phase, self.kernels.svd_small_seconds(m, n),
+                           label=f"gesvd {m}x{n}")
+
+    def _t_rownorms(self, rows: int, cols: int, phase: str) -> None:
+        self.device.charge(phase,
+                           self.kernels.row_norms_seconds(rows, cols),
+                           label=f"rownorms {rows}x{cols}")

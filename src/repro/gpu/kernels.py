@@ -123,9 +123,30 @@ class KernelModel:
         flops = n ** 3 / 3.0
         return flops / (self.spec.potrf_gflops * 1e9) + 5 * self.spec.kernel_launch_s
 
+    def svd_small_seconds(self, m: int, n: int) -> float:
+        """Dense SVD of a small ``m x n`` factor (cuSOLVER gesvd).
+
+        Used for the ``l x l`` triangular factor in the randomized-SVD
+        post-processing: one-sided Jacobi/QR iteration costs ~``14
+        long short^2`` flops and runs panel-bound, so we rate it on the
+        width-calibrated BLAS-2 curve like QP3's panel phase.
+        """
+        small = float(min(m, n))
+        long = float(max(m, n))
+        _positive("svd dims", small)
+        flops = 14.0 * long * small * small
+        rate = self.spec.qp3_blas2_curve(small)
+        return flops / (rate * 1e9) + 10 * self.spec.kernel_launch_s
+
     # ------------------------------------------------------------------
     # Level-1/2 BLAS
     # ------------------------------------------------------------------
+    def row_norms_seconds(self, rows: int, cols: int) -> float:
+        """Per-row 2-norms of a ``rows x cols`` block (memory-bound
+        sweep: read once at device bandwidth)."""
+        nbytes = 8.0 * rows * cols
+        return nbytes / (self.spec.mem_bw_gbs * 1e9) + self.spec.kernel_launch_s
+
     def gemv_seconds(self, m: int, n: int) -> float:
         """Matrix-vector multiply (memory-bound; the Fig. 8 GEMV line)."""
         return (2.0 * m * n / (self.gemv_gflops(m, n) * 1e9)

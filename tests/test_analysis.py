@@ -1,0 +1,503 @@
+"""Tests for :mod:`repro.analysis` — the static invariant checker.
+
+Every rule gets a true-positive fixture, a clean (negative) fixture, a
+suppressed variant, and the engine/baseline/CLI layers are exercised
+end to end, including the self-check that the shipped ``src/repro``
+tree is clean against the committed baseline.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import allow_untimed_math
+from repro.analysis.baseline import (apply_baseline, load_baseline,
+                                     write_baseline)
+from repro.analysis.cli import main as analyze_main
+from repro.analysis.engine import analyze_paths, parse_noqa
+from repro.analysis.findings import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+                                     AnalysisFinding)
+from repro.errors import ConfigurationError, ReproError, StaticAnalysisError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_rule(tmp_path, source, rel="repro/core/mod.py", **kw):
+    """Write ``source`` at ``rel`` under ``tmp_path`` and analyze it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return analyze_paths([path], root=tmp_path, **kw)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RS101: untimed math in repro.core
+# ---------------------------------------------------------------------------
+
+class TestRS101:
+    def test_flags_matmul_operator(self, tmp_path):
+        out = run_rule(tmp_path, "def f(a, b):\n    return a @ b\n",
+                       select=["RS101"])
+        assert rules_of(out) == ["RS101"]
+        assert "untimed matrix product" in out[0].message
+        assert out[0].context == "f"
+
+    def test_flags_linalg_and_dot_calls(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f(a):\n"
+               "    u = np.linalg.svd(a)\n"
+               "    return np.dot(a, a.T)\n")
+        out = run_rule(tmp_path, src, select=["RS101"])
+        assert rules_of(out) == ["RS101", "RS101"]
+        assert "np.linalg.svd" in out[0].message
+        assert "np.dot" in out[1].message
+
+    def test_allow_untimed_math_decorator_exempts(self, tmp_path):
+        src = ("from repro.analysis import allow_untimed_math\n"
+               "@allow_untimed_math('host-side diagnostic')\n"
+               "def f(a, b):\n"
+               "    return a @ b\n")
+        assert run_rule(tmp_path, src, select=["RS101"]) == []
+
+    def test_not_enforced_outside_core(self, tmp_path):
+        src = "def f(a, b):\n    return a @ b\n"
+        out = run_rule(tmp_path, src, rel="repro/gpu/backend.py",
+                       select=["RS101"])
+        assert out == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = "def f(a, b):\n    return a @ b  # repro: noqa RS101\n"
+        assert run_rule(tmp_path, src, select=["RS101"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS102: unknown phase tags
+# ---------------------------------------------------------------------------
+
+class TestRS102:
+    def test_flags_unknown_phase_keyword(self, tmp_path):
+        src = "def f(ex, x):\n    return ex.gemm(x, x, phase='warmup')\n"
+        out = run_rule(tmp_path, src, select=["RS102"])
+        assert rules_of(out) == ["RS102"]
+        assert "'warmup'" in out[0].message
+
+    def test_flags_charge_first_argument(self, tmp_path):
+        src = "def f(tl):\n    tl.charge('bogus', 1.0)\n"
+        out = run_rule(tmp_path, src, select=["RS102"])
+        assert rules_of(out) == ["RS102"]
+
+    def test_flags_bad_phase_default(self, tmp_path):
+        src = "def f(x, phase='qrcpp'):\n    return x\n"
+        out = run_rule(tmp_path, src, select=["RS102"])
+        assert rules_of(out) == ["RS102"]
+
+    def test_legend_members_pass(self, tmp_path):
+        from repro.gpu.trace import PHASES
+        body = "\n".join(
+            f"    ex.op(phase={p!r})" for p in PHASES)
+        src = f"def f(ex):\n{body}\n"
+        assert run_rule(tmp_path, src, select=["RS102"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("def f(tl):\n"
+               "    tl.charge('bogus', 1.0)  # repro: noqa RS102\n")
+        assert run_rule(tmp_path, src, select=["RS102"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS103: symbolic-unsafe value reads
+# ---------------------------------------------------------------------------
+
+class TestRS103:
+    def test_flags_float_of_arraylike_param(self, tmp_path):
+        src = ("from repro.gpu.device import ArrayLike\n"
+               "def f(x: ArrayLike):\n"
+               "    return float(x)\n")
+        out = run_rule(tmp_path, src, select=["RS103"])
+        assert rules_of(out) == ["RS103"]
+        assert "float(x)" in out[0].message
+
+    def test_flags_truthiness_and_comparison(self, tmp_path):
+        src = ("from repro.gpu.device import ArrayLike\n"
+               "def f(x: ArrayLike):\n"
+               "    if x:\n"
+               "        pass\n"
+               "    return x > 0\n")
+        out = run_rule(tmp_path, src, select=["RS103"])
+        assert rules_of(out) == ["RS103", "RS103"]
+
+    def test_is_symbolic_guard_exempts(self, tmp_path):
+        src = ("from repro.gpu.device import ArrayLike, is_symbolic\n"
+               "def f(x: ArrayLike):\n"
+               "    if is_symbolic(x):\n"
+               "        return 0.0\n"
+               "    return float(x)\n")
+        assert run_rule(tmp_path, src, select=["RS103"]) == []
+
+    def test_identity_test_is_not_a_value_read(self, tmp_path):
+        src = ("from repro.gpu.device import ArrayLike\n"
+               "from typing import Optional\n"
+               "def f(x: Optional[ArrayLike]):\n"
+               "    return x is not None\n")
+        assert run_rule(tmp_path, src, select=["RS103"]) == []
+
+    def test_unannotated_params_untracked(self, tmp_path):
+        src = "def f(x):\n    return float(x)\n"
+        assert run_rule(tmp_path, src, select=["RS103"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("from repro.gpu.device import ArrayLike\n"
+               "def f(x: ArrayLike):\n"
+               "    return float(x)  # repro: noqa RS103\n")
+        assert run_rule(tmp_path, src, select=["RS103"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS104: error taxonomy
+# ---------------------------------------------------------------------------
+
+class TestRS104:
+    def test_flags_builtin_raise(self, tmp_path):
+        src = "def f():\n    raise ValueError('bad shape')\n"
+        out = run_rule(tmp_path, src, select=["RS104"])
+        assert rules_of(out) == ["RS104"]
+        assert "ShapeError" in out[0].message  # suggests a replacement
+
+    def test_hierarchy_classes_pass(self, tmp_path):
+        src = ("from repro.errors import ShapeError\n"
+               "def f():\n"
+               "    raise ShapeError('bad shape')\n")
+        assert run_rule(tmp_path, src, select=["RS104"]) == []
+
+    def test_bare_reraise_passes(self, tmp_path):
+        src = ("def f():\n"
+               "    try:\n"
+               "        pass\n"
+               "    except Exception:\n"
+               "        raise\n")
+        assert run_rule(tmp_path, src, select=["RS104"]) == []
+
+    def test_errors_module_is_exempt(self, tmp_path):
+        src = "def f():\n    raise ValueError('x')\n"
+        out = run_rule(tmp_path, src, rel="repro/errors.py",
+                       select=["RS104"])
+        assert out == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = "def f():\n    raise ValueError('x')  # repro: noqa RS104\n"
+        assert run_rule(tmp_path, src, select=["RS104"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS105: legacy global RNG
+# ---------------------------------------------------------------------------
+
+class TestRS105:
+    def test_flags_legacy_calls(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f():\n"
+               "    np.random.seed(0)\n"
+               "    return np.random.rand(3)\n")
+        out = run_rule(tmp_path, src, select=["RS105"])
+        assert rules_of(out) == ["RS105", "RS105"]
+
+    def test_generator_plumbing_passes(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f(seed):\n"
+               "    rng = np.random.default_rng(seed)\n"
+               "    return rng.standard_normal(3)\n")
+        assert run_rule(tmp_path, src, select=["RS105"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f():\n"
+               "    return np.random.rand(3)  # repro: noqa RS105\n")
+        assert run_rule(tmp_path, src, select=["RS105"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS106: __all__ / export drift
+# ---------------------------------------------------------------------------
+
+class TestRS106:
+    def test_flags_missing_all_with_public_defs(self, tmp_path):
+        src = "def api():\n    pass\n"
+        out = run_rule(tmp_path, src, select=["RS106"])
+        assert rules_of(out) == ["RS106"]
+        assert "no __all__" in out[0].message
+
+    def test_private_only_module_needs_no_all(self, tmp_path):
+        src = "def _helper():\n    pass\n"
+        assert run_rule(tmp_path, src, select=["RS106"]) == []
+
+    def test_flags_phantom_export(self, tmp_path):
+        src = "__all__ = ['gone']\ndef api():\n    pass\n"
+        out = run_rule(tmp_path, src, select=["RS106"])
+        assert rules_of(out) == ["RS106"]
+        assert "'gone'" in out[0].message
+
+    def test_flags_duplicate_export(self, tmp_path):
+        src = "__all__ = ['api', 'api']\ndef api():\n    pass\n"
+        out = run_rule(tmp_path, src, select=["RS106"])
+        assert any("twice" in f.message for f in out)
+
+    def test_flags_dynamic_all(self, tmp_path):
+        src = "__all__ = sorted(globals())\ndef api():\n    pass\n"
+        out = run_rule(tmp_path, src, select=["RS106"])
+        assert any("not a static list" in f.message for f in out)
+
+    def test_clean_module_passes(self, tmp_path):
+        src = ("__all__ = ['api', 'CONST']\n"
+               "CONST = 1\n"
+               "def api():\n"
+               "    pass\n")
+        assert run_rule(tmp_path, src, select=["RS106"]) == []
+
+    def test_star_import_disables_drift_check(self, tmp_path):
+        src = ("from os.path import *\n"
+               "__all__ = ['join']\n")
+        assert run_rule(tmp_path, src, select=["RS106"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine: suppressions, selection, errors
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_parse_noqa_variants(self):
+        table = parse_noqa("a = 1  # repro: noqa\n"
+                           "b = 2  # repro: noqa RS101\n"
+                           "c = 3  # repro: noqa RS101, RS103\n"
+                           "d = 4\n")
+        assert table[1] is None
+        assert table[2] == {"RS101"}
+        assert table[3] == {"RS101", "RS103"}
+        assert 4 not in table
+
+    def test_bare_noqa_suppresses_every_rule(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def _f(a, b):\n"
+               "    return np.random.rand(3) @ np.linalg.qr(a @ b)[0]"
+               "  # repro: noqa\n")
+        assert run_rule(tmp_path, src) == []
+
+    def test_select_and_ignore(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f(a, b):\n"
+               "    np.random.seed(0)\n"
+               "    return a @ b\n")
+        both = run_rule(tmp_path, src, select=["RS101", "RS105"])
+        assert sorted(rules_of(both)) == ["RS101", "RS105"]
+        only = run_rule(tmp_path, src, select=["RS101", "RS105"],
+                        ignore=["RS105"])
+        assert rules_of(only) == ["RS101"]
+
+    def test_unknown_rule_raises(self, tmp_path):
+        with pytest.raises(StaticAnalysisError, match="unknown rule"):
+            run_rule(tmp_path, "x = 1\n", select=["RS999"])
+
+    def test_syntax_error_raises(self, tmp_path):
+        with pytest.raises(StaticAnalysisError, match="cannot parse"):
+            run_rule(tmp_path, "def f(:\n")
+
+    def test_missing_path_raises(self):
+        with pytest.raises(StaticAnalysisError, match="no such file"):
+            analyze_paths([Path("/nonexistent/nowhere.py")])
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        src = ("import numpy as np\n"
+               "def f(a, b):\n"
+               "    u = np.linalg.qr(a)\n"
+               "    return a @ b\n")
+        out = run_rule(tmp_path, src, select=["RS101"])
+        assert [f.line for f in out] == sorted(f.line for f in out)
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def _finding(line=10, message="untimed matrix product", context="f"):
+    return AnalysisFinding(rule="RS101", path="repro/core/x.py",
+                           line=line, col=4, message=message,
+                           context=context)
+
+
+class TestBaseline:
+    def test_fingerprint_ignores_line_numbers(self):
+        assert _finding(line=10).fingerprint() == \
+            _finding(line=99).fingerprint()
+
+    def test_fingerprint_keys_on_context_and_message(self):
+        assert _finding(context="f").fingerprint() != \
+            _finding(context="g").fingerprint()
+        assert _finding(message="a").fingerprint() != \
+            _finding(message="b").fingerprint()
+
+    def test_roundtrip_suppresses_baselined(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [_finding()])
+        new, n_base, stale = apply_baseline([_finding(line=42)],
+                                            load_baseline(path))
+        assert (new, n_base, stale) == ([], 1, [])
+
+    def test_counts_catch_extra_occurrences(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [_finding()])
+        new, n_base, _ = apply_baseline(
+            [_finding(line=10), _finding(line=20)], load_baseline(path))
+        assert n_base == 1 and len(new) == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [_finding()])
+        new, n_base, stale = apply_baseline([], load_baseline(path))
+        assert new == [] and n_base == 0
+        assert stale == [_finding().fingerprint()]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(StaticAnalysisError, match="unsupported"):
+            load_baseline(path)
+        path.write_text("not json")
+        with pytest.raises(StaticAnalysisError, match="cannot read"):
+            load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit-code contract
+# ---------------------------------------------------------------------------
+
+_VIOLATIONS = {
+    "RS101": "def f(a, b):\n    return a @ b\n",
+    "RS102": "def f(ex, x):\n    return ex.gemm(x, x, phase='warmup')\n",
+    "RS103": ("from repro.gpu.device import ArrayLike\n"
+              "def f(x: ArrayLike):\n"
+              "    return float(x)\n"),
+    "RS104": "def f():\n    raise ValueError('x')\n",
+    "RS105": "import numpy as np\ndef f():\n    return np.random.rand(3)\n",
+    "RS106": "def api():\n    pass\n",
+}
+
+
+class TestCLI:
+    @pytest.mark.parametrize("rule", sorted(_VIOLATIONS))
+    def test_each_rule_fails_its_fixture(self, tmp_path, rule, capsys):
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(_VIOLATIONS[rule], encoding="utf-8")
+        code = analyze_main([str(path), "--select", rule, "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        assert rule in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("__all__ = ['X']\nX = 1\n", encoding="utf-8")
+        assert analyze_main([str(path), "--no-baseline"]) == EXIT_CLEAN
+
+    def test_bad_path_exits_two(self, capsys):
+        assert analyze_main(["/nonexistent/nowhere.py"]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "x.py"
+        path.write_text("X = 1\n")
+        assert analyze_main([str(path), "--select", "RS999",
+                             "--no-baseline"]) == EXIT_ERROR
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(_VIOLATIONS["RS101"], encoding="utf-8")
+        base = tmp_path / "base.json"
+        assert analyze_main([str(path), "--select", "RS101", "--baseline",
+                             str(base), "--write-baseline"]) == EXIT_CLEAN
+        assert analyze_main([str(path), "--select", "RS101", "--baseline",
+                             str(base)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        # A *new* violation in the same file still fails.
+        path.write_text(_VIOLATIONS["RS101"] +
+                        "def g(a, b):\n    return a @ b\n",
+                        encoding="utf-8")
+        assert analyze_main([str(path), "--select", "RS101", "--baseline",
+                             str(base)]) == EXIT_FINDINGS
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(_VIOLATIONS["RS101"], encoding="utf-8")
+        code = analyze_main([str(path), "--select", "RS101",
+                             "--format", "json", "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        data = json.loads(capsys.readouterr().out)
+        assert data["baselined"] == 0
+        (finding,) = data["findings"]
+        assert finding["rule"] == "RS101"
+        assert finding["fingerprint"]
+
+    def test_list_rules(self, capsys):
+        assert analyze_main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in sorted(_VIOLATIONS):
+            assert rule in out
+
+    def test_repro_bench_analyze_delegates(self, tmp_path, capsys):
+        from repro.cli import main as bench_main
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(_VIOLATIONS["RS104"], encoding="utf-8")
+        code = bench_main(["analyze", str(path), "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        assert "RS104" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The decorator itself
+# ---------------------------------------------------------------------------
+
+class TestAllowUntimedMath:
+    def test_identity_and_reason_attribute(self):
+        @allow_untimed_math("testing")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert f.__untimed_math_reason__ == "testing"
+
+    def test_empty_reason_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allow_untimed_math("")
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the shipped tree is clean against the committed baseline
+# ---------------------------------------------------------------------------
+
+class TestSelfCheck:
+    def test_src_repro_clean_against_committed_baseline(self, capsys):
+        code = analyze_main([str(REPO_ROOT / "src" / "repro"),
+                             "--baseline",
+                             str(REPO_ROOT / "analysis-baseline.json")])
+        out = capsys.readouterr().out
+        assert code == EXIT_CLEAN, f"analyzer findings:\n{out}"
+
+    def test_module_entrypoint_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 0
+        assert "RS101" in proc.stdout
+
+    def test_static_analysis_error_in_hierarchy(self):
+        assert issubclass(StaticAnalysisError, ReproError)
+        assert issubclass(StaticAnalysisError, RuntimeError)
