@@ -3,15 +3,40 @@
 Every bench regenerates one table/figure of the paper (see DESIGN.md's
 per-experiment index): the pytest-benchmark timing measures *our*
 harness, while the reproduced series (modeled GPU seconds, error norms,
-speedups) are attached to ``benchmark.extra_info`` and printed so the
-paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
-single ``pytest benchmarks/ --benchmark-only`` run.
+speedups) are published through
+:func:`repro.obs.artifact.attach_series` — which lands them on
+``benchmark.extra_info`` (kept in the pytest-benchmark JSON) *and*
+registers them for the session-level ``BENCH_*.json`` artifact — so the
+paper-vs-measured comparison in EXPERIMENTS.md and the CI perf gate can
+both be refreshed from a single ``pytest benchmarks/ --benchmark-only``
+run.  Set ``REPRO_BENCH_ARTIFACT=<path>`` to write that artifact when
+the session ends (``REPRO_BENCH_LABEL`` overrides its label).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+from repro.obs import artifact
+
+
+def pytest_sessionstart(session):
+    artifact.reset_attached()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_ARTIFACT")
+    if not path:
+        return
+    label = os.environ.get("REPRO_BENCH_LABEL", "session")
+    doc = artifact.write_attached(path, label=label)
+    if doc is not None:
+        npts = sum(len(e["points"]) for e in doc["figures"].values())
+        print(f"\n[repro.obs: wrote {path}: "
+              f"{len(doc['figures'])} figure(s), {npts} point(s)]")
 
 
 @pytest.fixture

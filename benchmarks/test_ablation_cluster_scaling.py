@@ -16,6 +16,7 @@ interconnect) runtime:
 """
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 M, N = 600_000, 2_500
 LATENCIES = (3e-6, 30e-6, 300e-6, 3e-3)
@@ -39,7 +40,11 @@ def test_cluster_strong_scaling(benchmark, print_table):
     seq = [times[n] for n in (1, 2, 4, 8, 16)]
     assert all(a > b for a, b in zip(seq, seq[1:]))
     assert seq[0] / seq[3] > 5         # >= 62 % efficiency at 8 nodes
-    benchmark.extra_info["times"] = {str(k): v for k, v in times.items()}
+    attach_series(benchmark, "ablation_cluster_scaling", points=[
+        {"params": {"nodes": n},
+         "metrics": {"sampling_seconds": times[n],
+                     "speedup_vs_1node": times[1] / times[n]}}
+        for n in (1, 2, 4, 8, 16)])
     print_table(format_table(
         ["nodes", "sampling (s)", "speedup vs 1 node"],
         [[n, times[n], times[1] / times[n]] for n in (1, 2, 4, 8, 16)],
@@ -61,8 +66,12 @@ def test_cluster_latency_sweep(benchmark, print_table):
                   / [r["speedup"] for r in rows if r["k"] == 502][0])
     assert growth_big > growth_small > 1.0
 
-    benchmark.extra_info["rows"] = [
-        {kk: float(v) for kk, v in r.items()} for r in rows]
+    attach_series(benchmark, "ablation_cluster_latency", points=[
+        {"params": {"latency": r["latency"], "k": r["k"]},
+         "metrics": {"sampling": float(r["sampling"]),
+                     "qp3": float(r["qp3"]),
+                     "speedup": float(r["speedup"])}}
+        for r in rows])
     print_table(format_table(
         ["latency (s)", "k", "sampling (s)", "QP3 (s)", "speedup"],
         [[r["latency"], r["k"], r["sampling"], r["qp3"], r["speedup"]]

@@ -19,6 +19,7 @@ are re-timed at the canonical shape (m = 50k, n = 2.5k, k = 54):
 """
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 SCALES = (1, 10, 100, 1000)
 
@@ -53,8 +54,13 @@ def test_ablation_comm_cost(benchmark, print_table):
     for r in rows:
         assert r["sampling_q1"] < r["caqp3"] < r["qp3"] * 1.01
 
-    benchmark.extra_info["speedups_vs_sync_scale"] = dict(
-        zip(SCALES, [round(s, 1) for s in speedups]))
+    attach_series(benchmark, "ablation_comm_cost", points=[
+        {"params": {"sync_scale": r["sync_scale"]},
+         "metrics": {"qp3": float(r["qp3"]),
+                     "caqp3": float(r["caqp3"]),
+                     "sampling_q1": float(r["sampling_q1"]),
+                     "speedup": float(r["qp3"] / r["sampling_q1"])}}
+        for r in rows])
     print_table(format_table(
         ["sync_scale", "QP3 (s)", "CAQP3 (s)", "sampling q=1 (s)",
          "sampling speedup"],

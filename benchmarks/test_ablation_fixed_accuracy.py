@@ -15,6 +15,7 @@ column norm meets the tolerance.  This ablation runs both on the
 """
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 TOLS = (1e-4, 1e-7, 1e-10)
 
@@ -43,8 +44,10 @@ def test_ablation_fixed_accuracy(benchmark, print_table):
     assert rows[0]["qp3_rank"] < rows[-1]["qp3_rank"]
     assert rows[0]["adaptive_l"] < rows[-1]["adaptive_l"]
 
-    benchmark.extra_info["rows"] = [
-        {k: float(v) for k, v in r.items()} for r in rows]
+    attach_series(benchmark, "ablation_fixed_accuracy", points=[
+        {"params": {"tol": r["tol"]},
+         "metrics": {k: float(v) for k, v in r.items() if k != "tol"}}
+        for r in rows])
     print_table(format_table(
         ["tol", "QP3 rank", "QP3 err", "QP3 s", "adaptive l",
          "adaptive err", "adaptive s"],

@@ -15,6 +15,7 @@ conclusions are properties of the algorithm, not of the K40c:
 
 from repro.bench.reporting import format_table
 from repro.gpu.specs import KEPLER_K40C, PASCAL_P100_PROJECTION
+from repro.obs import attach_series
 from repro.perfmodel.estimate import (estimate_qp3_gflops,
                                       estimate_random_sampling_gflops,
                                       estimate_speedup)
@@ -55,9 +56,11 @@ def test_hardware_projection(benchmark, print_table):
     assert 4.0 < p100["speedup_q1"] < 9.0
     assert 8.0 < p100["speedup_q0"] < 18.0
 
-    benchmark.extra_info["rows"] = [
-        {k: (v if isinstance(v, str) else float(v))
-         for k, v in r.items()} for r in rows]
+    attach_series(benchmark, "ablation_hardware_projection", points=[
+        {"params": {"device": r["device"]},
+         "metrics": {k: float(v) for k, v in r.items()
+                     if k != "device"}}
+        for r in rows])
     print_table(format_table(
         ["device", "QP3 Gf/s", "RS q=0 Gf/s", "RS q=1 Gf/s",
          "speedup q=0", "speedup q=1"],

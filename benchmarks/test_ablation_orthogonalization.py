@@ -16,6 +16,7 @@ between.
 """
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 from repro.bench.ablations import orthogonalization_ablation
 
@@ -43,9 +44,11 @@ def test_ablation_orth(benchmark, print_table):
             < by["mixed_cholqr"]["modeled_s"]
             < by["cholqr2"]["modeled_s"] * 1.01)
 
-    benchmark.extra_info["rows"] = {
-        r["scheme"]: {"error": float(r["error"]),
-                      "modeled_s": float(r["modeled_s"])} for r in rows}
+    attach_series(benchmark, "ablation_orth", points=[
+        {"params": {"scheme": r["scheme"]},
+         "metrics": {"error": float(r["error"]),
+                     "modeled_s": float(r["modeled_s"])}}
+        for r in rows])
     print_table(format_table(
         ["scheme", "error", "modeled_s (50k x 2.5k, q=2)"],
         [[r["scheme"], r["error"], r["modeled_s"]] for r in rows],

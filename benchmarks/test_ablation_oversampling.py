@@ -11,6 +11,7 @@ cost grows linearly with l = k + p.
 """
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 from repro.bench.ablations import oversampling_ablation
 
@@ -39,7 +40,11 @@ def test_ablation_oversampling(benchmark, print_table):
     # Cost grows with l = k + p.
     assert secs[50] > secs[10] > secs[0]
 
-    benchmark.extra_info["errors"] = err
+    attach_series(benchmark, "ablation_oversampling", points=[
+        {"params": {"p": r["p"]},
+         "metrics": {"error": float(r["error"]),
+                     "modeled_s": float(r["modeled_s"])}}
+        for r in rows])
     print_table(format_table(
         ["p", "median error", "modeled_s"],
         [[r["p"], r["error"], r["modeled_s"]] for r in rows],

@@ -10,7 +10,7 @@ under both samplers and confirms:
 """
 
 from repro.bench.reporting import format_table
-
+from repro.obs import attach_series
 
 from repro.bench.ablations import sampler_ablation
 
@@ -29,9 +29,11 @@ def test_ablation_sampler(benchmark, print_table):
     assert by["gaussian"]["modeled_s_l64"] < by["fft"]["modeled_s_l64"]
     assert by["fft"]["modeled_s_l320"] < by["gaussian"]["modeled_s_l320"]
 
-    benchmark.extra_info["rows"] = {
-        r["sampler"]: {k: float(v) for k, v in r.items()
-                       if k != "sampler"} for r in rows}
+    attach_series(benchmark, "ablation_sampler", points=[
+        {"params": {"sampler": r["sampler"]},
+         "metrics": {k: float(v) for k, v in r.items()
+                     if k != "sampler"}}
+        for r in rows])
     print_table(format_table(
         ["sampler", "error", "modeled_s (l=64)", "modeled_s (l=320)"],
         [[r["sampler"], r["error"], r["modeled_s_l64"],

@@ -16,6 +16,7 @@ relations the section argues from:
 from math import sqrt
 
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 from repro.perfmodel import costs
 
 M, N, L, K, Q = 50_000, 2_500, 64, 54, 1
@@ -70,8 +71,9 @@ def test_fig05(benchmark, print_table):
     assert (km.fft_sampling_seconds(M, N, axis="row")
             > km.gemm_seconds(L, N, M))
 
-    benchmark.extra_info["intensities"] = {
-        name: round(c.intensity(), 2) for name, c in rows}
+    attach_series(benchmark, "fig05", metrics={
+        "intensities": {name: round(c.intensity(), 2)
+                        for name, c in rows}})
     print_table(format_table(
         ["step", "#flops", "#words", "flops/word"],
         [[name, c.flops, c.words, c.intensity()] for name, c in rows],

@@ -19,6 +19,7 @@ and hapmap's error O(1).
 
 from repro.bench import fig06_accuracy
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 
 def test_fig06(benchmark, print_table):
@@ -48,9 +49,10 @@ def test_fig06(benchmark, print_table):
     assert 0.05 < hm["q2"] < 1.0
     assert abs(hm["q2"] - hm["q0"]) < 0.3 * hm["q0"]
 
-    benchmark.extra_info["errors"] = {
-        n: {k: float(v) for k, v in r.items() if k != "name"}
-        for n, r in by_name.items()}
+    attach_series(benchmark, "fig06", points=[
+        {"params": {"matrix": n},
+         "metrics": {k: float(v) for k, v in r.items() if k != "name"}}
+        for n, r in by_name.items()])
     print_table(format_table(
         ["matrix", "QP3", "q=0", "q=1", "q=2", "q=0,p=0", "q=0,FFT"],
         [[r["name"], r["qp3"], r["q0"], r["q1"], r["q2"], r["q0_p0"],

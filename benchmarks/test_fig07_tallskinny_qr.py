@@ -9,6 +9,7 @@ CGS, then HHQR (~5x QP3), then MGS, then QP3 at the bottom.
 import numpy as np
 
 from repro.bench import fig07_tallskinny_qr, format_series
+from repro.obs import attach_series
 
 
 def test_fig07(benchmark, print_table):
@@ -34,7 +35,8 @@ def test_fig07(benchmark, print_table):
         ys = data[key]
         assert all(a < b for a, b in zip(ys, ys[1:])), key
 
-    benchmark.extra_info["cholqr_over_hhqr_mean"] = float(ratios.mean())
+    attach_series(benchmark, "fig07", series=data, x_name="m", metrics={
+        "cholqr_over_hhqr_mean": float(ratios.mean())})
     series = {k: v for k, v in data.items() if k != "m"}
     print_table(format_series(ms, series, x_name="m",
                               title="Figure 7: tall-skinny QR (n=64), "

@@ -10,6 +10,7 @@ the "FFT effective" curve crosses GEMM at l ~ 192 (row) / l ~ 128
 import numpy as np
 
 from repro.bench import fig08_sampling_kernels, format_series
+from repro.obs import attach_series
 
 
 def _crossover(data):
@@ -31,7 +32,8 @@ def test_fig08_row(benchmark, print_table):
     # Crossover in the paper's band.
     cross = _crossover(data)
     assert cross is not None and 128 <= cross <= 320
-    benchmark.extra_info["row_crossover_l"] = cross
+    attach_series(benchmark, "fig08_row", series=data, x_name="l",
+                  metrics={"row_crossover_l": cross})
     series = {k: data[k] for k in ("gemm", "gemv", "fft",
                                    "fft_effective")}
     print_table(format_series(data["l"], series, x_name="l",
@@ -49,7 +51,8 @@ def test_fig08_col(benchmark, print_table):
     assert cross is not None and 64 <= cross <= 224
     row_cross = _crossover(fig08_sampling_kernels(axis="row"))
     assert cross <= row_cross
-    benchmark.extra_info["col_crossover_l"] = cross
+    attach_series(benchmark, "fig08_col", series=data, x_name="l",
+                  metrics={"col_crossover_l": cross})
     series = {k: data[k] for k in ("gemm", "fft", "fft_effective")}
     print_table(format_series(data["l"], series, x_name="l",
                               title=f"Figure 8b: column sampling Gflop/s "

@@ -8,6 +8,7 @@ with an average of 72.9x.
 import numpy as np
 
 from repro.bench import fig09_shortwide_qr, format_series
+from repro.obs import attach_series
 
 
 def test_fig09(benchmark, print_table):
@@ -21,8 +22,9 @@ def test_fig09(benchmark, print_table):
     assert 50 < ratios.mean() < 95          # paper avg 72.9x
     assert 80 < ratios.max() < 130          # paper max 106.4x
 
-    benchmark.extra_info["cholqr_over_hhqr_mean"] = float(ratios.mean())
-    benchmark.extra_info["cholqr_over_hhqr_max"] = float(ratios.max())
+    attach_series(benchmark, "fig09", series=data, x_name="n", metrics={
+        "cholqr_over_hhqr_mean": float(ratios.mean()),
+        "cholqr_over_hhqr_max": float(ratios.max())})
     print_table(format_series(
         data["n"], {"cholqr": data["cholqr"], "hhqr": data["hhqr"],
                     "speedup": ratios.tolist()},

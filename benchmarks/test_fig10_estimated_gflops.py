@@ -8,6 +8,7 @@ speedups of ~6.7x and ~14.3x once flop ratios are divided out.
 """
 
 from repro.bench import fig10_estimated_gflops, format_series
+from repro.obs import attach_series
 from repro.perfmodel.estimate import estimate_speedup
 
 
@@ -29,9 +30,9 @@ def test_fig10(benchmark, print_table):
     assert 4.5 < s1 < 9.0
     assert 9.0 < s0 < 18.0
 
-    benchmark.extra_info.update(
-        {"rs_q1_at_50k": q1_top, "rs_q0_at_50k": q0_top,
-         "predicted_speedup_q1": s1, "predicted_speedup_q0": s0})
+    attach_series(benchmark, "fig10", series=data, x_name="m", metrics={
+        "rs_q1_at_50k": q1_top, "rs_q0_at_50k": q0_top,
+        "predicted_speedup_q1": s1, "predicted_speedup_q0": s0})
     series = {k: v for k, v in data.items() if k != "m"}
     print_table(format_series(
         data["m"], series, x_name="m",

@@ -11,6 +11,7 @@ matrix-multiplies ~75 %.
 import numpy as np
 
 from repro.bench import fig11_time_vs_rows, format_breakdown_table
+from repro.obs import attach_series
 
 PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
 
@@ -37,7 +38,7 @@ def test_fig11_q1(benchmark, print_table):
     assert 0.6e-6 < rs_slope < 2.5e-6            # paper 1.15e-6
     assert 5e-6 < qp3_slope < 15e-6              # paper 9.34e-6
 
-    benchmark.extra_info.update({
+    attach_series(benchmark, "fig11", breakdown_points=points, metrics={
         "max_speedup_q1": max(speedups),
         "mean_speedup_q1": float(np.mean(speedups)),
         "step1_fraction_50k": last["step1_fraction"],
@@ -54,5 +55,6 @@ def test_fig11_q0_headline(benchmark):
     speedups = [p["speedup"] for p in points]
     assert 10.0 < max(speedups) < 16.0      # paper max 12.8x
     assert 6.0 < np.mean(speedups) < 12.0   # paper avg 8.8x
-    benchmark.extra_info["max_speedup_q0"] = max(speedups)
-    benchmark.extra_info["mean_speedup_q0"] = float(np.mean(speedups))
+    attach_series(benchmark, "fig11_q0", breakdown_points=points, metrics={
+        "max_speedup_q0": max(speedups),
+        "mean_speedup_q0": float(np.mean(speedups))})

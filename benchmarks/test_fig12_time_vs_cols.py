@@ -9,6 +9,7 @@ wins across the whole n = 500 - 5 000 range.
 import numpy as np
 
 from repro.bench import fig12_time_vs_cols, format_breakdown_table
+from repro.obs import attach_series
 
 PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
 
@@ -28,8 +29,8 @@ def test_fig12(benchmark, print_table):
     # The paper's QP3 slope ~1.8e-4 s per column at m=50k, k=54.
     assert 0.9e-4 < qp3_slope < 3.6e-4
 
-    benchmark.extra_info["qp3_slope"] = qp3_slope
-    benchmark.extra_info["rs_slope"] = rs_slope
+    attach_series(benchmark, "fig12", breakdown_points=points, metrics={
+        "qp3_slope": qp3_slope, "rs_slope": rs_slope})
     print_table(format_breakdown_table(
         points, "n", PHASES, extra=("qp3", "speedup"),
         title="Figure 12: time (s) vs columns (m=50 000)"))

@@ -9,6 +9,7 @@ over the whole range.
 import numpy as np
 
 from repro.bench import fig13_time_vs_rank, format_breakdown_table
+from repro.obs import attach_series
 
 PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr")
 
@@ -30,7 +31,8 @@ def test_fig13(benchmark, print_table):
     assert all(a < b for a, b in zip(rs, rs[1:]))
     assert all(a < b for a, b in zip(qp3, qp3[1:]))
 
-    benchmark.extra_info["slope_ratio"] = float(qp3_slope / rs_slope)
+    attach_series(benchmark, "fig13", breakdown_points=points, metrics={
+        "slope_ratio": float(qp3_slope / rs_slope)})
     print_table(format_breakdown_table(
         points, "l", PHASES, extra=("qp3", "speedup"),
         title="Figure 13: time (s) vs subspace size "

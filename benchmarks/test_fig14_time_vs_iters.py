@@ -9,6 +9,7 @@ margin at q = 12 (their 0.47 s vs 0.477 s at m = 50k).
 import numpy as np
 
 from repro.bench import fig14_time_vs_iterations, format_series
+from repro.obs import attach_series
 
 
 def test_fig14(benchmark, print_table):
@@ -34,8 +35,9 @@ def test_fig14(benchmark, print_table):
     # ... but only barely at q = 12 (within 15 % of QP3 at m = 50k).
     assert data["q12"][last] > 0.85 * data["qp3"][last]
 
-    benchmark.extra_info["q12_over_qp3_at_50k"] = float(
-        data["q12"][last] / data["qp3"][last])
+    attach_series(benchmark, "fig14", series=data, x_name="m", metrics={
+        "q12_over_qp3_at_50k": float(data["q12"][last]
+                                     / data["qp3"][last])})
     series = {k: v for k, v in data.items() if k != "m"}
     print_table(format_series(ms, series, x_name="m",
                               title="Figure 14: time (s) vs power "

@@ -10,6 +10,7 @@ communication-optimal CholQR.
 
 from repro.bench import fig15_multigpu_scaling, format_breakdown_table
 from repro.gpu.kernels import KernelModel
+from repro.obs import attach_series
 
 PHASES = ("prng", "sampling", "gemm_iter", "orth_iter", "qrcp", "qr",
           "comms")
@@ -41,7 +42,7 @@ def test_fig15(benchmark, print_table):
     gemm_speedup_3 = 3 * rates[2] / rates[0]
     assert 4.0 < gemm_speedup_3 < 6.0            # paper 5.1x
 
-    benchmark.extra_info.update({
+    attach_series(benchmark, "fig15", breakdown_points=points, metrics={
         "speedup_2gpu": points[1]["speedup"],
         "speedup_3gpu": points[2]["speedup"],
         "comms_2gpu": points[1]["comms_fraction"],

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.bench import fig16_adaptive_convergence
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 
 def test_fig16(benchmark, print_table):
@@ -40,7 +41,10 @@ def test_fig16(benchmark, print_table):
     # Larger static increments overshoot the needed subspace.
     assert finals[64] >= finals[8]
 
-    benchmark.extra_info["final_sizes"] = finals
+    attach_series(benchmark, "fig16", points=[
+        {"params": {"l_inc": l_inc},
+         "metrics": {"final_size": size}}
+        for l_inc, size in sorted(finals.items())])
     rows = []
     for run in runs:
         for l, est, act in zip(run["sizes"], run["estimates"],

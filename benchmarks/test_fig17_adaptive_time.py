@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.bench import fig17_adaptive_time
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 
 def test_fig17(benchmark, print_table):
@@ -39,8 +40,12 @@ def test_fig17(benchmark, print_table):
     # same small start.
     assert len(adaptive[8]["times"]) < len(static[8]["times"])
 
-    benchmark.extra_info["seconds"] = {
-        f"{r['rule']}_{r['l_inc']}": r["total_seconds"] for r in runs}
+    attach_series(benchmark, "fig17", points=[
+        {"params": {"l_inc": r["l_inc"], "rule": r["rule"]},
+         "metrics": {"total_seconds": r["total_seconds"],
+                     "final_size": r["final_size"],
+                     "steps": len(r["times"])}}
+        for r in runs])
     rows = [[r["l_inc"], r["rule"], len(r["times"]), r["final_size"],
              r["total_seconds"]] for r in runs]
     print_table(format_table(

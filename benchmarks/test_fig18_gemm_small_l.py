@@ -9,6 +9,7 @@ value within 15 %.
 import pytest
 
 from repro.bench import fig18_gemm_small_l, format_series
+from repro.obs import attach_series
 
 PAPER = {8: 123.3, 16: 247.0, 32: 489.5, 48: 597.8, 64: 778.5}
 
@@ -25,8 +26,10 @@ def test_fig18(benchmark, print_table):
     seq = data["gemm_gflops"]
     assert all(a < b for a, b in zip(seq, seq[1:]))
 
-    benchmark.extra_info["rates"] = rates
-    benchmark.extra_info["paper"] = PAPER
+    attach_series(benchmark, "fig18", points=[
+        {"params": {"l_inc": l},
+         "metrics": {"model_gflops": rates[l], "paper_gflops": PAPER[l]}}
+        for l in sorted(PAPER)])
     print_table(format_series(
         data["l_inc"],
         {"model_gflops": data["gemm_gflops"],

@@ -17,6 +17,7 @@ import numpy as np
 from repro import SamplingConfig, random_sampling
 from repro.bench.reporting import format_table
 from repro.matrices import exponent_matrix
+from repro.obs import attach_series
 from repro.qr.qrcp import qp3_blocked
 
 M, N, K, P = 100_000, 500, 50, 10
@@ -53,8 +54,9 @@ def test_largescale_spotcheck(benchmark, print_table):
     assert row["q0"] < 3 * row["q0_small"]
     assert row["q0_small"] < 3 * row["q0"]
 
-    benchmark.extra_info["errors"] = {k: float(v)
-                                      for k, v in row.items()}
+    attach_series(benchmark, "largescale_spotcheck", points=[
+        {"params": {"m": M},
+         "metrics": {k: float(v) for k, v in row.items()}}])
     print_table(format_table(
         ["rows", "QP3", "q=0", "q=1"],
         [[M, row["qp3"], row["q0"], row["q1"]],

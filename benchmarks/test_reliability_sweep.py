@@ -22,6 +22,7 @@ import numpy as np
 from repro import SamplingConfig, best_rank_k_error, random_sampling
 from repro.bench.reporting import format_table
 from repro.matrices.synthetic import exponent_matrix, power_matrix
+from repro.obs import attach_series
 
 SEEDS = range(5)
 KS = (10, 30, 50)
@@ -76,8 +77,9 @@ def test_reliability_sweep(benchmark, print_table):
 
     worst_ratio = max(r["worst"] / r["optimum"] for r in rows
                       if r["q"] >= 1)
-    benchmark.extra_info["worst_over_optimum_q>=1"] = worst_ratio
-    benchmark.extra_info["grid_points"] = len(rows)
+    attach_series(benchmark, "reliability_sweep", metrics={
+        "worst_over_optimum_q>=1": worst_ratio,
+        "grid_points": len(rows)})
     show = [r for r in rows if r["k"] == 50 and r["p"] == 10]
     print_table(format_table(
         ["matrix", "k", "p", "q", "sigma_k+1", "median", "worst",

@@ -9,6 +9,7 @@ matrices).  Runs at reduced m (the statistics are shape-stable);
 
 from repro.bench import table1_matrices
 from repro.bench.reporting import format_table
+from repro.obs import attach_series
 
 
 def test_table1(benchmark, print_table):
@@ -26,9 +27,10 @@ def test_table1(benchmark, print_table):
     assert 5e4 < by_name["exponent"]["kappa"] < 3e5
     assert by_name["hapmap"]["kappa"] < 1e2
 
-    benchmark.extra_info["rows"] = {
-        name: {k: float(v) for k, v in r.items() if k != "name"}
-        for name, r in by_name.items()}
+    attach_series(benchmark, "table1", points=[
+        {"params": {"matrix": name},
+         "metrics": {k: float(v) for k, v in r.items() if k != "name"}}
+        for name, r in by_name.items()])
     print_table(format_table(
         ["matrix", "m", "n", "sigma_0", "sigma_k+1", "kappa"],
         [[r["name"], r["m"], r["n"], r["sigma_0"], r["sigma_k1"],

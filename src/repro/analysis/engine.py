@@ -195,7 +195,8 @@ def register(cls: Type[BaseChecker]) -> Type[BaseChecker]:
 
 def all_rules() -> Dict[str, Type[BaseChecker]]:
     """Rule id -> checker class, loading the built-in rule modules."""
-    from . import rules_executor, rules_hygiene  # noqa: F401 (side effect)
+    from . import (rules_bench, rules_executor,  # noqa: F401 (side effect)
+                   rules_hygiene)
     return dict(sorted(_REGISTRY.items()))
 
 

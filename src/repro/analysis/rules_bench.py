@@ -1,0 +1,102 @@
+"""Bench-publication rule: RS107 attach-series contract.
+
+The benches in ``benchmarks/`` are the repo's record of the reproduced
+series — speedups, phase breakdowns, error norms.  Those numbers must
+leave a bench through :func:`repro.obs.artifact.attach_series`, which
+lands them both on ``benchmark.extra_info`` (for the pytest-benchmark
+JSON) and in the session-level ``BENCH_*.json`` artifact the CI
+perf-regression gate diffs.  Ad-hoc ``extra_info`` writes or bare
+prints leak numbers past the artifact and the gate silently goes
+blind to them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Tuple
+
+from .engine import BaseChecker, register
+from .rules_executor import dotted_name
+
+__all__ = ["BenchAttachChecker", "BENCH_SCOPES"]
+
+#: Path fragments (posix) where RS107 is enforced.
+BENCH_SCOPES: Tuple[str, ...] = ("benchmarks/",)
+
+
+def _is_extra_info(node: ast.expr) -> bool:
+    """True for any ``<obj>.extra_info`` attribute access."""
+    return isinstance(node, ast.Attribute) and node.attr == "extra_info"
+
+
+class _AttachScan(ast.NodeVisitor):
+    """Find ``attach_series(...)`` calls inside one function body."""
+
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if dotted_name(node.func).endswith("attach_series"):
+            self.found = True
+        self.generic_visit(node)
+
+
+@register
+class BenchAttachChecker(BaseChecker):
+    """RS107: benches publish series via ``attach_series``, not ad-hoc.
+
+    Two shapes are flagged inside ``benchmarks/``:
+
+    - a direct write to ``benchmark.extra_info`` (subscript assignment
+      or ``.update(...)``) — the record bypasses the session artifact;
+    - a ``test_*`` function taking the ``benchmark`` fixture that never
+      calls :func:`repro.obs.artifact.attach_series` — the bench's
+      reproduced numbers never reach the artifact at all.
+    """
+
+    rule = "RS107"
+    summary = ("benches must publish reproduced series through "
+               "repro.obs.artifact.attach_series")
+
+    def run(self):
+        if not any(scope in self.ctx.relpath for scope in BENCH_SCOPES):
+            return self.findings
+        return super().run()
+
+    # -- missing attach_series in a bench function -----------------------
+    def handle_function(self, node) -> None:
+        if not node.name.startswith("test_"):
+            return
+        args = node.args
+        names = {a.arg for a in (args.posonlyargs + args.args
+                                 + args.kwonlyargs)}
+        if "benchmark" not in names:
+            return
+        scan = _AttachScan()
+        for stmt in node.body:
+            scan.visit(stmt)
+        if not scan.found:
+            self.emit(node, f"bench {node.name!r} takes the benchmark "
+                            "fixture but never calls attach_series; its "
+                            "reproduced series will miss the BENCH_*.json "
+                            "artifact and the CI perf gate")
+
+    # -- ad-hoc extra_info writes ----------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and \
+                    _is_extra_info(target.value):
+                self.emit(node, "direct write to benchmark.extra_info; "
+                                "publish through attach_series so the "
+                                "series lands in the BENCH_*.json artifact")
+                break
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+                "update", "setdefault") and _is_extra_info(func.value):
+            self.emit(node, "benchmark.extra_info."
+                            f"{func.attr}(...) bypasses the artifact; "
+                            "publish through attach_series instead")
+        self.generic_visit(node)

@@ -119,8 +119,11 @@ class ExportDriftChecker(BaseChecker):
     summary = "missing __all__, or __all__ names a binding that no longer exists"
 
     def run(self):
-        # Entry-point stubs export nothing by design.
-        if self.ctx.relpath.endswith("__main__.py"):
+        # Entry-point stubs export nothing by design; pytest modules
+        # (tests/benches/conftest) are collected, never `import *`-ed.
+        name = self.ctx.relpath.rsplit("/", 1)[-1]
+        if self.ctx.relpath.endswith("__main__.py") or \
+                name.startswith("test_") or name == "conftest.py":
             return self.findings
         tree = self.ctx.tree
         bound = self._module_bindings(tree)

@@ -4,39 +4,25 @@
 data through :func:`to_jsonable` and writes one JSON document per
 experiment, so downstream plotting (matplotlib notebooks, paper-diff
 scripts) can consume the reproduction without scraping tables.
+
+``repro-bench obs run`` goes through :func:`write_figure_artifact`
+instead, which produces the versioned ``BENCH_<figure>.json`` series
+artifact defined by :mod:`repro.obs.artifact`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict
-
-import numpy as np
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import ConfigurationError
+# Canonical converter lives with the artifact schema; re-exported here
+# because every driver historically imported it from this module.
+from ..obs.artifact import (build_artifact, figure_record, to_jsonable,
+                            write_artifact)
 
-__all__ = ["to_jsonable", "dump_json", "collect_experiment"]
-
-
-def to_jsonable(value: Any) -> Any:
-    """Recursively convert experiment data (numpy scalars/arrays,
-    dataclass-free dicts/lists/tuples) into JSON-safe structures."""
-    if isinstance(value, (str, bool)) or value is None:
-        return value
-    if isinstance(value, (int, float)):
-        return value
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return [to_jsonable(v) for v in value.tolist()]
-    if isinstance(value, dict):
-        return {str(k): to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [to_jsonable(v) for v in value]
-    raise ConfigurationError(
-        f"cannot serialize {type(value).__name__} to JSON")
+__all__ = ["to_jsonable", "dump_json", "collect_experiment",
+           "OBS_FIGURES", "write_figure_artifact"]
 
 
 def dump_json(data: Any, path: str, experiment: str) -> None:
@@ -79,3 +65,35 @@ def collect_experiment(name: str) -> Any:
             f"no exportable driver for {name!r}; available: "
             f"{sorted(drivers)}") from None
     return driver()
+
+
+def _obs_figures() -> Dict[str, Callable[[], Any]]:
+    from . import figures
+
+    return {
+        "fig11": figures.fig11_time_vs_rows,
+        "fig12": figures.fig12_time_vs_cols,
+        "fig13": figures.fig13_time_vs_rank,
+        "fig15": figures.fig15_multigpu_scaling,
+    }
+
+
+#: Figures exportable as BENCH artifacts (phase-breakdown sweeps).
+OBS_FIGURES = frozenset(("fig11", "fig12", "fig13", "fig15"))
+
+
+def write_figure_artifact(path: str, name: str,
+                          label: Optional[str] = None) -> Dict:
+    """Run one phase-breakdown figure driver and write its reproduced
+    series as a ``BENCH_<figure>.json`` artifact; returns the document."""
+    drivers = _obs_figures()
+    try:
+        driver = drivers[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"figure {name!r} has no BENCH artifact export; available: "
+            f"{sorted(drivers)}") from None
+    record = figure_record(name, breakdown_points=driver())
+    doc = build_artifact([record], label=label or name)
+    write_artifact(path, doc)
+    return doc

@@ -199,7 +199,8 @@ def fig10_estimated_gflops(ms: Sequence[int] = DEFAULT_MS, n: int = 2_500,
 def _point(t: FixedRankTiming, **extra) -> Dict:
     d = {"m": t.m, "n": t.n, "k": t.k, "l": t.sample_size, "q": t.q,
          "ng": t.ng, "total": t.total, "breakdown": t.breakdown,
-         "step1_fraction": t.step1_fraction}
+         "step1_fraction": t.step1_fraction, "gflops": t.gflops,
+         "peak_memory_bytes": t.peak_memory_bytes}
     d.update(extra)
     return d
 

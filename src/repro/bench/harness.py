@@ -16,13 +16,16 @@ from typing import Dict, Optional
 
 from ..config import SamplingConfig
 from ..core.random_sampling import random_sampling
+from ..errors import ConfigurationError
 from ..gpu.device import GPUExecutor, NumpyExecutor, SymArray
 from ..gpu.kernels import KernelModel
 from ..gpu.multigpu import MultiGPUExecutor
 from ..gpu.specs import GPUSpec, KEPLER_K40C
+from ..obs.spans import SpanRecorder
 
 __all__ = ["FixedRankTiming", "timed_fixed_rank", "qp3_baseline_seconds",
-           "scale_rows", "full_scale"]
+           "scale_rows", "full_scale", "OBS_RUN_CONFIGS",
+           "observed_fixed_rank"]
 
 
 def full_scale() -> bool:
@@ -48,6 +51,11 @@ class FixedRankTiming:
     ng: int
     total: float
     breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Observability aggregates (filled when a recorder watched the run).
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    gflops: float = 0.0
+    peak_memory_bytes: int = 0
 
     @property
     def step1_fraction(self) -> float:
@@ -61,20 +69,61 @@ class FixedRankTiming:
 def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
                      ng: int = 1, sampler: str = "gaussian",
                      spec: GPUSpec = KEPLER_K40C,
-                     seed: int = 0) -> FixedRankTiming:
+                     seed: int = 0,
+                     recorder: Optional[SpanRecorder] = None
+                     ) -> FixedRankTiming:
     """Run the fixed-rank algorithm symbolically on the simulated
-    device(s) and return the modeled phase breakdown."""
+    device(s) and return the modeled phase breakdown.
+
+    Every run is watched by a :class:`repro.obs.spans.SpanRecorder`
+    (pass ``recorder`` to supply your own and keep the span tree); the
+    returned timing carries the recorder's aggregates (FLOPs, bytes
+    moved, achieved Gflop/s, peak device memory).
+    """
     if ng == 1:
         ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed)
     else:
         ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed)
+    rec = recorder if recorder is not None else SpanRecorder()
+    ex.attach_recorder(rec)
     cfg = SamplingConfig(rank=k, oversampling=p, power_iterations=q,
                          sampler=sampler, seed=seed)
-    res = random_sampling(SymArray((m, n)), cfg, executor=ex)
+    run_name = f"fixed-rank m={m} n={n} k={k} q={q} ng={ng}"
+    with rec.run_span(run_name):
+        res = random_sampling(SymArray((m, n)), cfg, executor=ex)
     return FixedRankTiming(m=m, n=n, k=k, sample_size=cfg.sample_size, q=q,
                            ng=ng, total=res.seconds,
                            breakdown={ph: s for ph, s in res.breakdown.items()
-                                      if s > 0.0})
+                                      if s > 0.0},
+                           flops=rec.total_flops,
+                           bytes_moved=rec.total_bytes_moved,
+                           gflops=rec.achieved_gflops(),
+                           peak_memory_bytes=rec.peak_memory_bytes)
+
+
+#: Representative single run per phase-breakdown figure, used by
+#: ``repro-bench obs run <figure> --trace`` to produce a Chrome trace.
+OBS_RUN_CONFIGS: Dict[str, Dict[str, int]] = {
+    "fig11": {"m": 50_000, "n": 2_500, "k": 54, "p": 10, "q": 1, "ng": 1},
+    "fig12": {"m": 50_000, "n": 5_000, "k": 54, "p": 10, "q": 1, "ng": 1},
+    "fig13": {"m": 50_000, "n": 2_500, "k": 310, "p": 10, "q": 1, "ng": 1},
+    "fig15": {"m": 150_000, "n": 2_500, "k": 54, "p": 10, "q": 1, "ng": 3},
+}
+
+
+def observed_fixed_rank(figure: str, **overrides):
+    """Run ``figure``'s representative configuration under a fresh
+    recorder; returns ``(FixedRankTiming, SpanRecorder)``."""
+    try:
+        params = dict(OBS_RUN_CONFIGS[figure])
+    except KeyError:
+        raise ConfigurationError(
+            f"no observability run config for {figure!r}; available: "
+            f"{sorted(OBS_RUN_CONFIGS)}") from None
+    params.update(overrides)
+    rec = SpanRecorder()
+    timing = timed_fixed_rank(recorder=rec, **params)
+    return timing, rec
 
 
 def qp3_baseline_seconds(m: int, n: int, k: int = 54,

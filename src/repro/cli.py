@@ -315,16 +315,23 @@ def main(argv=None) -> int:
     if argv and argv[0] == "analyze":
         from .analysis.cli import main as analyze_main
         return analyze_main(argv[1:])
+    # `repro-bench obs ...` delegates to the observability toolchain
+    # (run/render/diff of BENCH_*.json artifacts and Chrome traces).
+    if argv and argv[0] == "obs":
+        from .obs.cli import main as obs_main
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures; "
-                    "'analyze' runs the repo's static analyzer.")
+                    "'analyze' runs the repo's static analyzer; 'obs' "
+                    "runs, renders, and diffs observability artifacts.")
     parser.add_argument("experiment",
                         choices=sorted(_COMMANDS) + ["all", "list"],
                         help="which experiment to run ('all' runs every "
                              "one; 'list' prints the available names; "
                              "'analyze' runs the static analyzer — see "
-                             "'analyze --help')")
+                             "'analyze --help'; 'obs' handles BENCH "
+                             "artifacts — see 'obs --help')")
     parser.add_argument("--full-scale", action="store_true",
                         help="use the paper's matrix sizes for the "
                              "numerics experiments (slow)")

@@ -17,6 +17,7 @@ they *charge* for each operation:
 
 from __future__ import annotations
 
+from math import sqrt
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -24,14 +25,15 @@ import numpy as np
 from ..config import ORTH_SCHEMES
 from ..errors import (ConfigurationError, ShapeError,
                       SymbolicExecutionError)
+from ..perfmodel.costs import DEFAULT_FAST_MEMORY
 from ..qr import cholqr, gram_schmidt, householder
 from ..qr.qrcp import qp3_blocked
 from ..qr.tsqr import tsqr as tsqr_factorize
 from ..qr.utils import solve_upper_triangular
-from .kernels import KernelModel
+from .kernels import KernelModel, gemm_flops, qp3_flops, qr_flops
 from .memory import DeviceMemory, TransferModel
 from .specs import GPUSpec, KEPLER_K40C
-from .trace import TimeLine
+from .trace import PHASES, TimeLine
 
 __all__ = ["SymArray", "shape_of", "is_symbolic", "SimulatedGPU",
            "NumpyExecutor", "GPUExecutor"]
@@ -138,8 +140,21 @@ def _vstack(parts: Sequence[ArrayLike]) -> ArrayLike:
     return np.vstack(parts)
 
 
+def _words_bytes(flops: float, *operand_elems: int) -> float:
+    """Bytes moved per the blocked-kernel word model of
+    :mod:`repro.perfmodel.costs`: ``flops / sqrt(M)`` slow-memory words
+    plus the operands themselves, in 8-byte elements."""
+    return 8.0 * (flops / sqrt(DEFAULT_FAST_MEMORY) + sum(operand_elems))
+
+
 class SimulatedGPU:
-    """One simulated device: kernel model + timeline + memory."""
+    """One simulated device: kernel model + timeline + memory.
+
+    A :class:`repro.obs.spans.SpanRecorder` attached via
+    :meth:`attach_recorder` receives every :meth:`charge` as a kernel
+    span carrying the FLOP/bytes estimates and the memory high-water
+    mark sampled at charge time.
+    """
 
     def __init__(self, spec: GPUSpec = KEPLER_K40C, device_id: int = 0):
         spec.validate()
@@ -149,14 +164,33 @@ class SimulatedGPU:
         self.timeline = TimeLine()
         self.memory = DeviceMemory(spec.memory_bytes)
         self.transfers = TransferModel(spec.pcie_bw_gbs, spec.pcie_latency_s)
+        self.recorder = None  # Optional[repro.obs.spans.SpanRecorder]
 
     @property
     def elapsed(self) -> float:
         """Total modeled seconds on this device."""
         return self.timeline.total
 
-    def charge(self, phase: str, seconds: float, label: str = "") -> None:
+    def attach_recorder(self, recorder) -> None:
+        """Mirror every subsequent charge into ``recorder`` (pass
+        ``None`` to detach)."""
+        self.recorder = recorder
+
+    def charge(self, phase: str, seconds: float, label: str = "",
+               flops: float = 0.0, bytes_moved: float = 0.0) -> None:
+        # Validate eagerly at the device layer: span attribution and
+        # the timeline must never disagree on where time landed.
+        if phase not in PHASES:
+            raise ConfigurationError(
+                f"unknown phase {phase!r} charged to device "
+                f"{self.device_id}; expected one of {PHASES}")
         self.timeline.charge(phase, seconds, label)
+        if self.recorder is not None:
+            self.recorder.record_kernel(
+                phase=phase, label=label or phase, seconds=seconds,
+                flops=flops, bytes_moved=bytes_moved,
+                device_id=self.device_id,
+                memory_high_water=self.memory.high_water)
 
     def reset(self) -> None:
         """Fresh timeline and memory for a new run."""
@@ -189,6 +223,10 @@ class NumpyExecutor:
 
     def reset_clock(self) -> None:
         """Forget accumulated modeled time (no-op here)."""
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.spans.SpanRecorder` (no-op here:
+        the pure-NumPy executor charges nothing)."""
 
     def bind(self, a: ArrayLike) -> None:
         """Register the input matrix before a run (used by distributed
@@ -497,6 +535,9 @@ class GPUExecutor(NumpyExecutor):
     def reset_clock(self) -> None:
         self.device.reset()
 
+    def attach_recorder(self, recorder) -> None:
+        self.device.attach_recorder(recorder)
+
     def bind(self, a: ArrayLike) -> None:
         """Account the input matrix in device memory (the paper's
         matrices are device-resident).  A matrix exceeding the K40c's
@@ -515,16 +556,25 @@ class GPUExecutor(NumpyExecutor):
     def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None:
         secs = self.kernels.gemm_seconds(
             m, n, k, efficiency=self._gemm_efficiency(phase))
-        self.device.charge(phase, secs, label=f"gemm {m}x{n}x{k}")
+        flops = gemm_flops(m, n, k)
+        self.device.charge(phase, secs, label=f"gemm {m}x{n}x{k}",
+                           flops=flops,
+                           bytes_moved=_words_bytes(flops, m * k, k * n,
+                                                    m * n))
 
     def _t_prng(self, count: int) -> None:
         self.device.charge("prng", self.kernels.curand_seconds(count),
-                           label=f"curand {count}")
+                           label=f"curand {count}", flops=float(count),
+                           bytes_moved=8.0 * count)
 
     def _t_fft(self, m: int, n: int, axis: str) -> None:
+        padded = self.kernels._pad_pow2(m if axis == "row" else n)
+        flops = 5.0 * padded * np.log2(max(2, padded)) \
+            * (n if axis == "row" else m)
         self.device.charge("sampling",
                            self.kernels.fft_sampling_seconds(m, n, axis),
-                           label=f"fft {m}x{n} {axis}")
+                           label=f"fft {m}x{n} {axis}", flops=flops,
+                           bytes_moved=_words_bytes(flops, m * n))
 
     def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
                 phase: str) -> None:
@@ -552,33 +602,54 @@ class GPUExecutor(NumpyExecutor):
                     + depth * 4 * self.device.spec.kernel_launch_s)
         else:
             raise ConfigurationError(f"no timing model for {scheme!r}")
-        self.device.charge(phase, secs, label=f"{scheme} {rows}x{cols}")
+        passes = 2 if reorth else 1
+        flops = qr_flops(max(rows, cols), min(rows, cols)) * passes
+        self.device.charge(phase, secs, label=f"{scheme} {rows}x{cols}",
+                           flops=flops,
+                           bytes_moved=_words_bytes(flops,
+                                                    passes * rows * cols))
 
     def _t_block_orth(self, prev: int, new: int, length: int,
                       reorth: bool, phase: str) -> None:
         secs = self.kernels.block_orth_seconds(prev, new, length, reorth)
+        flops = 4.0 * prev * new * length * (2 if reorth else 1)
         self.device.charge(phase, secs,
-                           label=f"borth {prev}+{new}x{length}")
+                           label=f"borth {prev}+{new}x{length}",
+                           flops=flops,
+                           bytes_moved=_words_bytes(flops,
+                                                    (prev + new) * length))
 
     def _t_qrcp(self, m: int, n: int, k: int) -> None:
+        flops = qp3_flops(m, n, k)
         self.device.charge("qrcp", self.kernels.qp3_seconds(m, n, k),
-                           label=f"qp3 {m}x{n} k={k}")
+                           label=f"qp3 {m}x{n} k={k}", flops=flops,
+                           # QP3 is BLAS-2 bound: every update sweeps
+                           # the trailing matrix through slow memory.
+                           bytes_moved=8.0 * (flops / 2.0 + m * n))
 
     def _t_trsolve(self, rows: int, cols: int, phase: str) -> None:
+        flops = gemm_flops(rows, cols, rows) / 2.0
         self.device.charge(phase, self.kernels.trsm_seconds(rows, cols),
-                           label=f"trsm {rows}x{cols}")
+                           label=f"trsm {rows}x{cols}", flops=flops,
+                           bytes_moved=_words_bytes(flops, rows * cols))
 
     def _t_copy(self, nbytes: int, phase: str) -> None:
         # Device-local gather at memory bandwidth (read + write).
         secs = (2 * nbytes / (self.device.spec.mem_bw_gbs * 1e9)
                 + self.device.spec.kernel_launch_s)
-        self.device.charge(phase, secs, label=f"copy {nbytes}B")
+        self.device.charge(phase, secs, label=f"copy {nbytes}B",
+                           bytes_moved=2.0 * nbytes)
 
     def _t_svd(self, m: int, n: int, phase: str) -> None:
+        small = min(m, n)
+        flops = 14.0 * m * n * small  # dense one-sided Jacobi/gesvd class
         self.device.charge(phase, self.kernels.svd_small_seconds(m, n),
-                           label=f"gesvd {m}x{n}")
+                           label=f"gesvd {m}x{n}", flops=flops,
+                           bytes_moved=_words_bytes(flops, m * n))
 
     def _t_rownorms(self, rows: int, cols: int, phase: str) -> None:
+        flops = 2.0 * rows * cols
         self.device.charge(phase,
                            self.kernels.row_norms_seconds(rows, cols),
-                           label=f"rownorms {rows}x{cols}")
+                           label=f"rownorms {rows}x{cols}", flops=flops,
+                           bytes_moved=8.0 * rows * cols)

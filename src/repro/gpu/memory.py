@@ -61,9 +61,10 @@ class DeviceMemory:
         return self.capacity - self.used
 
     def reset(self) -> None:
-        """Drop all allocations (fresh run)."""
+        """Drop all allocations and the high-water mark (fresh run)."""
         self._allocations.clear()
         self.used = 0
+        self.high_water = 0
 
 
 @dataclass(frozen=True)

@@ -92,6 +92,12 @@ class MultiGPUExecutor(GPUExecutor):
             dev.memory.reset()
             dev.memory.allocate(8 * local_rows * n)
 
+    def attach_recorder(self, recorder) -> None:
+        """Attach one span recorder across every simulated device (the
+        kernel spans carry each device's id)."""
+        for dev in self.devices:
+            dev.attach_recorder(recorder)
+
     def local_rows(self, m: int) -> int:
         """Rows of the largest local block ``A_(i)``."""
         return -(-m // self.ng)  # ceil division
@@ -102,12 +108,16 @@ class MultiGPUExecutor(GPUExecutor):
         across devices), as opposed to the replicated ``B`` (width n)."""
         return self._dist_cols is not None and cols == self._dist_cols
 
-    def _charge_all(self, phase: str, seconds: float, label: str) -> None:
+    def _charge_all(self, phase: str, seconds: float, label: str,
+                    flops: float = 0.0, bytes_moved: float = 0.0) -> None:
         """Charge symmetric parallel work (counted once: max = local)."""
-        self.device.charge(phase, seconds, label)
+        self.device.charge(phase, seconds, label, flops=flops,
+                           bytes_moved=bytes_moved)
 
-    def _charge_comm(self, seconds: float, label: str) -> None:
-        self.device.charge("comms", seconds, label)
+    def _charge_comm(self, seconds: float, label: str,
+                     bytes_moved: float = 0.0) -> None:
+        self.device.charge("comms", seconds, label,
+                           bytes_moved=bytes_moved)
 
     # ------------------------------------------------------------------
     # overridden operations (timing only; math identical to base class)
@@ -117,59 +127,74 @@ class MultiGPUExecutor(GPUExecutor):
         # Omega is generated distributed (rows x c per device).
         c = self.local_rows(cols) if self._dist_cols == cols else cols
         self.device.charge("prng", self.kernels.curand_seconds(rows * c),
-                           label=f"curand {rows}x{c} (local)")
+                           label=f"curand {rows}x{c} (local)",
+                           flops=float(rows * c), bytes_moved=8.0 * rows * c)
         if symbolic:
             return SymArray((rows, cols))
         return self.rng.standard_normal((rows, cols))
 
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = Omega_(i) A_(i)`` locally, then CPU accumulation."""
+        from .device import _mm, _words_bytes
+        from .kernels import gemm_flops
         l, m = shape_of(omega)
         n = shape_of(a)[1]
         c = self.local_rows(m)
+        flops = gemm_flops(l, n, c)
         self._charge_all("sampling", self.kernels.gemm_seconds(l, n, c),
-                         label=f"gemm {l}x{n}x{c} (local)")
+                         label=f"gemm {l}x{n}x{c} (local)", flops=flops,
+                         bytes_moved=_words_bytes(flops, l * c, c * n,
+                                                  l * n))
         self._reduce_b(l, n)
-        from .device import _mm
         return _mm(omega, a)
 
     def _reduce_b(self, l: int, n: int) -> None:
         """Gather ng partial l x n blocks to the CPU and sum them."""
         t = self.device.transfers.reduce_seconds(8 * l * n, self.ng)
-        self._charge_comm(t, f"reduce B {l}x{n} x{self.ng}")
+        self._charge_comm(t, f"reduce B {l}x{n} x{self.ng}",
+                          bytes_moved=8.0 * l * n * self.ng)
         # CPU accumulation: (ng - 1) adds of l*n.
         if self.ng > 1:
             self._charge_all("comms",
                              self.cpu.gemm_seconds((self.ng - 1) * l * n),
-                             label="cpu accumulate")
+                             label="cpu accumulate",
+                             flops=float((self.ng - 1) * l * n))
 
     def _broadcast(self, l: int, n: int, label: str) -> None:
         t = self.device.transfers.broadcast_seconds(8 * l * n, self.ng)
-        self._charge_comm(t, label)
+        self._charge_comm(t, label, bytes_moved=8.0 * l * n * self.ng)
 
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``C_(i) = B A_(i)^T`` locally; C stays distributed."""
+        from .device import _mm, _words_bytes
+        from .kernels import gemm_flops
         l, n = shape_of(b)
         m = shape_of(a)[0]
         c = self.local_rows(m)
         eff = self.device.spec.iter_gemm_efficiency
+        flops = gemm_flops(l, c, n)
         self._charge_all("gemm_iter",
                          self.kernels.gemm_seconds(l, c, n, efficiency=eff),
-                         label=f"gemm {l}x{c}x{n} (local)")
-        from .device import _mm
+                         label=f"gemm {l}x{c}x{n} (local)", flops=flops,
+                         bytes_moved=_words_bytes(flops, l * n, c * n,
+                                                  l * c))
         return _mm(b, a.T)
 
     def iter_gemm_a(self, c_mat: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = C_(i) A_(i)`` locally, then CPU accumulation."""
+        from .device import _mm, _words_bytes
+        from .kernels import gemm_flops
         l, m = shape_of(c_mat)
         n = shape_of(a)[1]
         c = self.local_rows(m)
         eff = self.device.spec.iter_gemm_efficiency
+        flops = gemm_flops(l, n, c)
         self._charge_all("gemm_iter",
                          self.kernels.gemm_seconds(l, n, c, efficiency=eff),
-                         label=f"gemm {l}x{n}x{c} (local)")
+                         label=f"gemm {l}x{n}x{c} (local)", flops=flops,
+                         bytes_moved=_words_bytes(flops, l * c, c * n,
+                                                  l * n))
         self._reduce_b(l, n)
-        from .device import _mm
         return _mm(c_mat, a)
 
     def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
@@ -177,6 +202,8 @@ class MultiGPUExecutor(GPUExecutor):
         """Orthogonalization timing: CPU for the replicated ``B``,
         multi-GPU CholQR (Figure 4) for the distributed ``C`` and for
         the tall-skinny Step-3 QR."""
+        from .device import _words_bytes
+        from .kernels import qr_flops
         passes = 2 if reorth else 1
         if self._is_distributed_width(max(rows, cols)) or phase == "qr":
             # Distributed CholQR: local SYRK over c columns/rows, reduce
@@ -190,48 +217,69 @@ class MultiGPUExecutor(GPUExecutor):
                         8 * small * small, self.ng)
                     + self.device.transfers.broadcast_seconds(
                         8 * small * small, self.ng))
+            flops = passes * qr_flops(long_local, small)
             self._charge_all(phase, passes * (per_pass + cpu),
-                             label=f"mgpu-cholqr {rows}x{cols}")
-            self._charge_comm(passes * comm, "cholqr gram/factor")
+                             label=f"mgpu-cholqr {rows}x{cols}",
+                             flops=flops,
+                             bytes_moved=_words_bytes(
+                                 flops, passes * long_local * small))
+            self._charge_comm(passes * comm, "cholqr gram/factor",
+                              bytes_moved=passes * 16.0 * small * small
+                              * self.ng)
         else:
             # Replicated short-wide B: factor on the CPU, broadcast Q.
             small = min(rows, cols)
             long = max(rows, cols)
             flops = 2.0 * long * small * small * passes * 2
             self._charge_all(phase, self.cpu.panel_seconds(flops),
-                             label=f"cpu-{scheme} {rows}x{cols}")
+                             label=f"cpu-{scheme} {rows}x{cols}",
+                             flops=flops,
+                             bytes_moved=8.0 * rows * cols * passes)
             self._broadcast(rows, cols, "broadcast Q_B")
 
     def _t_qrcp(self, m: int, n: int, k: int) -> None:
+        from .kernels import qp3_flops
         # Truncated QP3 of the small sampled matrix on device 0; B must
         # first be sent down to the device.
         self._charge_comm(self.device.transfers.seconds(8 * m * n),
-                          "h2d B for QP3")
+                          "h2d B for QP3", bytes_moved=8.0 * m * n)
+        flops = qp3_flops(m, n, k)
         self.device.charge("qrcp", self.kernels.qp3_seconds(m, n, k),
-                           label=f"qp3 {m}x{n} k={k}")
+                           label=f"qp3 {m}x{n} k={k}", flops=flops,
+                           bytes_moved=8.0 * (flops / 2.0 + m * n))
 
     def _t_copy(self, nbytes: int, phase: str) -> None:
         # Column gather happens locally on each device (rows split).
         local = nbytes // self.ng
         secs = (2 * local / (self.device.spec.mem_bw_gbs * 1e9)
                 + self.device.spec.kernel_launch_s)
-        self.device.charge(phase, secs, label=f"copy {local}B (local)")
+        self.device.charge(phase, secs, label=f"copy {local}B (local)",
+                           bytes_moved=2.0 * local)
 
     def _t_block_orth(self, prev: int, new: int, length: int,
                       reorth: bool, phase: str) -> None:
+        from .device import _words_bytes
         if self._is_distributed_width(length):
             c = self.local_rows(length)
             secs = self.kernels.block_orth_seconds(prev, new, c, reorth)
+            flops = 4.0 * prev * new * c * (2 if reorth else 1)
             # The small coefficient blocks travel through the host.
             comm = self.device.transfers.reduce_seconds(
                 8 * prev * new, self.ng) * (2 if reorth else 1)
-            self._charge_all(phase, secs, f"borth {prev}+{new} (local)")
-            self._charge_comm(comm, "borth coeffs")
+            self._charge_all(phase, secs, f"borth {prev}+{new} (local)",
+                             flops=flops,
+                             bytes_moved=_words_bytes(
+                                 flops, (prev + new) * c))
+            self._charge_comm(comm, "borth coeffs",
+                              bytes_moved=8.0 * prev * new * self.ng
+                              * (2 if reorth else 1))
         else:
             # Replicated B: block-orth on the CPU alongside its QR.
             flops = 4.0 * prev * new * length * (2 if reorth else 1)
             self._charge_all(phase, self.cpu.gemm_seconds(flops),
-                             label=f"cpu-borth {prev}+{new}x{length}")
+                             label=f"cpu-borth {prev}+{new}x{length}",
+                             flops=flops,
+                             bytes_moved=8.0 * (prev + new) * length)
 
     @property
     def seconds(self) -> float:

@@ -80,6 +80,13 @@ class TimeLine:
         """Phase -> seconds map (in the paper's legend order)."""
         return {name: self._phases[name].seconds for name in PHASES}
 
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"seconds": ..., "calls": ...}`` for phases that
+        saw at least one kernel (legend order)."""
+        return {name: {"seconds": self._phases[name].seconds,
+                       "calls": self._phases[name].calls}
+                for name in PHASES if self._phases[name].calls > 0}
+
     def fractions(self) -> Dict[str, float]:
         """Phase -> fraction of total (0 when the total is zero)."""
         tot = self.total

@@ -1,0 +1,330 @@
+"""The versioned ``BENCH_*.json`` artifact: the repo's durable record
+of the reproduced performance series.
+
+One artifact holds one or more *figures*; each figure holds *points*
+keyed by their parameter assignment::
+
+    {
+      "schema_version": 1,
+      "kind": "repro-bench",
+      "label": "fig11" | "smoke" | ...,
+      "figures": {
+        "fig11": {
+          "points": [
+            {"params": {"m": 50000, "n": 2500, "k": 54, "l": 64,
+                        "q": 1, "ng": 1},
+             "phases": {"prng": ..., "sampling": ..., ...},
+             "total_seconds": ...,
+             "metrics": {"qp3_seconds": ..., "speedup": ...,
+                         "gflops": ...}}
+          ],
+          "metrics": {...figure-level scalars...},
+          "meta": {...}
+        }
+      }
+    }
+
+``phases`` are modeled seconds per phase-legend tag and always sum to
+``total_seconds`` (the executor clock) — the diff gate in
+:mod:`repro.obs.diff` leans on that invariant.  Benches publish their
+reproduced series with :func:`attach_series`, which both records them
+on ``benchmark.extra_info`` (so pytest-benchmark JSON keeps them) and
+registers them for the session-level artifact the CI jobs upload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gpu.trace import PHASES
+
+__all__ = [
+    "SCHEMA_VERSION", "ARTIFACT_KIND", "to_jsonable", "point",
+    "points_from_breakdown", "points_from_series", "figure_record",
+    "build_artifact", "write_artifact", "load_artifact",
+    "validate_artifact", "point_key", "attach_series", "reset_attached",
+    "attached_records", "write_attached",
+]
+
+SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro-bench"
+
+#: Parameter keys recognized in the breakdown-point dicts produced by
+#: :func:`repro.bench.figures._point` (the sweep identity of a point).
+_BREAKDOWN_PARAMS = ("m", "n", "k", "l", "q", "ng")
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment data (numpy scalars/arrays,
+    dicts/lists/tuples) into JSON-safe structures."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    raise ConfigurationError(
+        f"cannot serialize {type(value).__name__} to JSON")
+
+
+# ----------------------------------------------------------------------
+# point constructors
+# ----------------------------------------------------------------------
+def point(params: Mapping[str, Any],
+          phases: Optional[Mapping[str, float]] = None,
+          total_seconds: Optional[float] = None,
+          metrics: Optional[Mapping[str, Any]] = None) -> Dict:
+    """One artifact point; validates the phase tags."""
+    phases = dict(phases or {})
+    for name in phases:
+        if name not in PHASES:
+            raise ConfigurationError(
+                f"unknown phase {name!r} in artifact point; expected "
+                f"one of {PHASES}")
+    if total_seconds is None and phases:
+        total_seconds = float(sum(phases.values()))
+    out: Dict = {"params": to_jsonable(dict(params))}
+    if phases:
+        out["phases"] = to_jsonable(phases)
+    if total_seconds is not None:
+        out["total_seconds"] = float(total_seconds)
+    if metrics:
+        out["metrics"] = to_jsonable(dict(metrics))
+    return out
+
+
+def points_from_breakdown(points: Sequence[Mapping[str, Any]]
+                          ) -> List[Dict]:
+    """Convert ``repro.bench.figures`` breakdown points (the Figure
+    11-15 dicts with ``breakdown``/``total``) into artifact points.
+    Scalar extras (``qp3``, ``speedup``, ``gflops``, ...) land in the
+    point's metrics."""
+    out = []
+    for p in points:
+        params = {k: p[k] for k in _BREAKDOWN_PARAMS if k in p}
+        if not params:
+            raise ConfigurationError(
+                f"breakdown point has no recognized parameters: "
+                f"{sorted(p)}")
+        metrics = {k: v for k, v in p.items()
+                   if k not in _BREAKDOWN_PARAMS
+                   and k not in ("breakdown", "total")
+                   and isinstance(v, (int, float, np.integer, np.floating))}
+        out.append(point(params, phases=p.get("breakdown"),
+                         total_seconds=p.get("total"), metrics=metrics))
+    return out
+
+
+def points_from_series(x_name: str, series: Mapping[str, Sequence]
+                       ) -> List[Dict]:
+    """Convert a series dict (``{"m": [...], "cholqr": [...], ...}``,
+    the Figure 7-10/14 shape) into one artifact point per x value."""
+    if x_name not in series:
+        raise ConfigurationError(
+            f"series has no x column {x_name!r}; got {sorted(series)}")
+    xs = list(series[x_name])
+    out = []
+    for i, x in enumerate(xs):
+        metrics = {}
+        for key, values in series.items():
+            if key == x_name:
+                continue
+            if len(values) != len(xs):
+                raise ConfigurationError(
+                    f"series {key!r} has {len(values)} values for "
+                    f"{len(xs)} x points")
+            metrics[key] = values[i]
+        out.append(point({x_name: x}, metrics=metrics))
+    return out
+
+
+# ----------------------------------------------------------------------
+# artifact documents
+# ----------------------------------------------------------------------
+def figure_record(figure: str,
+                  points: Optional[Sequence[Mapping]] = None,
+                  breakdown_points: Optional[Sequence[Mapping]] = None,
+                  series: Optional[Mapping[str, Sequence]] = None,
+                  x_name: Optional[str] = None,
+                  metrics: Optional[Mapping[str, Any]] = None,
+                  meta: Optional[Mapping[str, Any]] = None) -> Dict:
+    """One figure entry, from whichever raw shape the driver produced."""
+    if not figure:
+        raise ConfigurationError("figure name must be non-empty")
+    pts: List[Dict] = [point(**{k: v for k, v in p.items()
+                                if k in ("params", "phases",
+                                         "total_seconds", "metrics")})
+                       for p in (points or [])]
+    if breakdown_points is not None:
+        pts.extend(points_from_breakdown(breakdown_points))
+    if series is not None:
+        if x_name is None:
+            raise ConfigurationError("series export needs x_name")
+        pts.extend(points_from_series(x_name, series))
+    record: Dict = {"figure": str(figure), "points": pts}
+    if metrics:
+        record["metrics"] = to_jsonable(dict(metrics))
+    if meta:
+        record["meta"] = to_jsonable(dict(meta))
+    return record
+
+
+def build_artifact(records: Sequence[Mapping], label: str = "run") -> Dict:
+    """Assemble figure records into one artifact document.
+
+    Records for the same figure merge: points are deduplicated by
+    parameter key (later records win), figure metrics are merged.
+    """
+    figures: Dict[str, Dict] = {}
+    for record in records:
+        fig = record["figure"]
+        entry = figures.setdefault(
+            fig, {"points": [], "metrics": {}, "meta": {}})
+        by_key = {point_key(p): p for p in entry["points"]}
+        for p in record.get("points", []):
+            by_key[point_key(p)] = p
+        entry["points"] = list(by_key.values())
+        entry["metrics"].update(record.get("metrics", {}))
+        entry["meta"].update(record.get("meta", {}))
+    for entry in figures.values():
+        if not entry["metrics"]:
+            del entry["metrics"]
+        if not entry["meta"]:
+            del entry["meta"]
+    return {"schema_version": SCHEMA_VERSION, "kind": ARTIFACT_KIND,
+            "label": str(label), "figures": figures}
+
+
+def point_key(p: Mapping) -> str:
+    """Stable identity of a point: its sorted parameter assignment."""
+    return json.dumps(to_jsonable(p.get("params", {})), sort_keys=True)
+
+
+def write_artifact(path: str, doc: Mapping) -> None:
+    validate_artifact(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict:
+    """Read and validate a ``BENCH_*.json`` document."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read artifact {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed JSON in {path}: {exc}")
+    validate_artifact(doc, source=path)
+    return doc
+
+
+def validate_artifact(doc: Any, source: str = "artifact") -> None:
+    """Structural validation of one artifact document."""
+    if not isinstance(doc, Mapping):
+        raise ConfigurationError(f"{source}: not a JSON object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{source}: schema_version {version!r} is not the supported "
+            f"{SCHEMA_VERSION}")
+    if doc.get("kind") != ARTIFACT_KIND:
+        raise ConfigurationError(
+            f"{source}: kind {doc.get('kind')!r} is not {ARTIFACT_KIND!r}")
+    figures = doc.get("figures")
+    if not isinstance(figures, Mapping):
+        raise ConfigurationError(f"{source}: missing figures object")
+    for fig, entry in figures.items():
+        if not isinstance(entry, Mapping) or \
+                not isinstance(entry.get("points"), list):
+            raise ConfigurationError(
+                f"{source}: figure {fig!r} needs a points list")
+        for i, p in enumerate(entry["points"]):
+            if not isinstance(p, Mapping) or \
+                    not isinstance(p.get("params"), Mapping):
+                raise ConfigurationError(
+                    f"{source}: figure {fig!r} point {i} needs params")
+            for name in (p.get("phases") or {}):
+                if name not in PHASES:
+                    raise ConfigurationError(
+                        f"{source}: figure {fig!r} point {i} has unknown "
+                        f"phase {name!r}")
+
+
+# ----------------------------------------------------------------------
+# bench attachment (the RS107 contract)
+# ----------------------------------------------------------------------
+#: Figure records attached during the current pytest session; the
+#: benchmarks/ conftest writes them to $REPRO_BENCH_ARTIFACT on exit.
+_ATTACHED: List[Dict] = []
+
+
+def attach_series(benchmark, figure: str, *,
+                  points: Optional[Sequence[Mapping]] = None,
+                  breakdown_points: Optional[Sequence[Mapping]] = None,
+                  series: Optional[Mapping[str, Sequence]] = None,
+                  x_name: Optional[str] = None,
+                  metrics: Optional[Mapping[str, Any]] = None,
+                  meta: Optional[Mapping[str, Any]] = None) -> Dict:
+    """Publish a bench's reproduced series.
+
+    The canonical record lands on ``benchmark.extra_info`` (under
+    ``"repro_obs"``, merged with any figure-level metrics for the
+    pytest-benchmark JSON output) and is registered for the
+    session-level ``BENCH_*.json`` artifact.  This is the one sanctioned
+    path for reproduced numbers out of ``benchmarks/`` — rule RS107 of
+    ``python -m repro.analysis`` flags benches that bypass it.
+    """
+    record = figure_record(figure, points=points,
+                           breakdown_points=breakdown_points,
+                           series=series, x_name=x_name,
+                           metrics=metrics, meta=meta)
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is None:
+        raise ConfigurationError(
+            "attach_series needs a pytest-benchmark fixture (or any "
+            "object with an extra_info mapping)")
+    existing = extra.get("repro_obs")
+    if existing is not None:
+        record = {
+            "figure": record["figure"],
+            "points": list(existing.get("points", [])) + record["points"],
+            "metrics": {**existing.get("metrics", {}),
+                        **record.get("metrics", {})},
+            "meta": {**existing.get("meta", {}), **record.get("meta", {})},
+        }
+    extra["repro_obs"] = record
+    for key, value in (record.get("metrics") or {}).items():
+        extra[key] = value
+    _ATTACHED.append(record)
+    return record
+
+
+def reset_attached() -> None:
+    _ATTACHED.clear()
+
+
+def attached_records() -> List[Dict]:
+    return list(_ATTACHED)
+
+
+def write_attached(path: str, label: str = "session") -> Optional[Dict]:
+    """Write every record attached this session to one artifact."""
+    if not _ATTACHED:
+        return None
+    doc = build_artifact(_ATTACHED, label=label)
+    write_artifact(path, doc)
+    return doc

@@ -1,0 +1,199 @@
+"""Per-phase comparison of two ``BENCH_*.json`` artifacts.
+
+This is the CI perf-regression gate: the committed baseline artifact is
+diffed against a freshly produced one, and any phase (or point total)
+that got *slower* by more than the relative tolerance fails the run.
+The modeled device is deterministic, so on an unchanged tree the delta
+is exactly zero; a non-zero delta means the performance model — i.e.
+the reproduced figures — changed and the baseline must be regenerated
+deliberately.
+
+Exit-code contract (mirrors :mod:`repro.analysis`):
+
+- ``0`` — every compared value within tolerance;
+- ``1`` — at least one regression (slower phase/total, or a missing
+  figure/point/phase that the baseline had);
+- ``2`` — usage error (unreadable path, malformed or wrong-schema
+  artifact, bad arguments).
+
+Faster-than-baseline values are reported as improvements but do not
+fail the gate; metric drift (speedups, Gflop/s, error norms) is
+reported for information only — the gate is on modeled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from .artifact import point_key, validate_artifact
+
+__all__ = ["DiffEntry", "DiffResult", "diff_artifacts", "render_diff",
+           "DEFAULT_TOLERANCE", "DEFAULT_FLOOR"]
+
+#: Default relative tolerance of the gate (5 %).
+DEFAULT_TOLERANCE = 0.05
+#: Phases below this many modeled seconds are never gated (noise floor).
+DEFAULT_FLOOR = 1e-9
+
+_STATUS_ORDER = ("regression", "missing", "improvement", "drift", "ok")
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared value across the two artifacts."""
+
+    figure: str
+    point: str          # rendered parameter assignment
+    field: str          # "total", a phase tag, or "metric:<name>"
+    base: float
+    new: float
+    status: str         # ok | regression | improvement | drift | missing
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.base
+
+    @property
+    def rel(self) -> float:
+        denom = max(abs(self.base), DEFAULT_FLOOR)
+        return self.delta / denom
+
+
+@dataclass
+class DiffResult:
+    entries: List[DiffEntry]
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries
+                if e.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def worst(self) -> List[DiffEntry]:
+        """Entries sorted most-severe first (for reporting)."""
+        rank = {s: i for i, s in enumerate(_STATUS_ORDER)}
+        return sorted(self.entries,
+                      key=lambda e: (rank[e.status], -abs(e.rel)))
+
+
+def _params_text(key: str) -> str:
+    # point_key is a sorted-JSON params dict; render it compactly.
+    return key.replace('"', "").replace("{", "").replace("}", "") \
+              .replace(" ", "").replace(":", "=")
+
+
+def _compare_timing(figure: str, key: str, field: str, base: float,
+                    new: float, tol: float, floor: float) -> DiffEntry:
+    if max(base, new) <= floor:
+        status = "ok"
+    else:
+        rel = (new - base) / max(base, floor)
+        if rel > tol:
+            status = "regression"
+        elif rel < -tol:
+            status = "improvement"
+        else:
+            status = "ok"
+    return DiffEntry(figure, _params_text(key), field, base, new, status)
+
+
+def diff_artifacts(base: Mapping, new: Mapping,
+                   tol: float = DEFAULT_TOLERANCE,
+                   floor: float = DEFAULT_FLOOR) -> DiffResult:
+    """Compare every figure/point/phase of ``base`` against ``new``."""
+    if tol < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tol}")
+    if floor < 0:
+        raise ConfigurationError(f"floor must be >= 0, got {floor}")
+    validate_artifact(base, source="baseline artifact")
+    validate_artifact(new, source="new artifact")
+
+    entries: List[DiffEntry] = []
+    base_figures: Dict = base["figures"]
+    new_figures: Dict = new["figures"]
+    for fig, base_entry in sorted(base_figures.items()):
+        new_entry = new_figures.get(fig)
+        if new_entry is None:
+            entries.append(DiffEntry(fig, "*", "figure", 0.0, 0.0,
+                                     "missing"))
+            continue
+        new_points = {point_key(p): p for p in new_entry["points"]}
+        for bp in base_entry["points"]:
+            key = point_key(bp)
+            np_ = new_points.get(key)
+            if np_ is None:
+                entries.append(DiffEntry(fig, _params_text(key), "point",
+                                         0.0, 0.0, "missing"))
+                continue
+            entries.extend(_diff_point(fig, key, bp, np_, tol, floor))
+    return DiffResult(entries)
+
+
+def _diff_point(fig: str, key: str, base_point: Mapping,
+                new_point: Mapping, tol: float, floor: float
+                ) -> List[DiffEntry]:
+    out: List[DiffEntry] = []
+    base_total = base_point.get("total_seconds")
+    new_total = new_point.get("total_seconds")
+    if base_total is not None:
+        if new_total is None:
+            out.append(DiffEntry(fig, _params_text(key), "total",
+                                 float(base_total), 0.0, "missing"))
+        else:
+            out.append(_compare_timing(fig, key, "total",
+                                       float(base_total),
+                                       float(new_total), tol, floor))
+    base_phases = base_point.get("phases") or {}
+    new_phases = new_point.get("phases") or {}
+    for phase, base_secs in base_phases.items():
+        if phase not in new_phases:
+            if base_secs > floor:
+                out.append(DiffEntry(fig, _params_text(key), phase,
+                                     float(base_secs), 0.0, "missing"))
+            continue
+        out.append(_compare_timing(fig, key, phase, float(base_secs),
+                                   float(new_phases[phase]), tol, floor))
+    # Metrics: informational drift only, never gated.
+    base_metrics = base_point.get("metrics") or {}
+    new_metrics = new_point.get("metrics") or {}
+    for name, bv in base_metrics.items():
+        nv = new_metrics.get(name)
+        if not isinstance(bv, (int, float)) or \
+                not isinstance(nv, (int, float)):
+            continue
+        rel = abs(nv - bv) / max(abs(bv), floor)
+        status = "drift" if rel > tol else "ok"
+        out.append(DiffEntry(fig, _params_text(key), f"metric:{name}",
+                             float(bv), float(nv), status))
+    return out
+
+
+def render_diff(result: DiffResult, tol: float = DEFAULT_TOLERANCE,
+                show_ok: bool = False) -> str:
+    """Text report of a diff (regressions first)."""
+    from ..bench.reporting import format_table  # lazy: obs !-> bench
+
+    rows: List[Tuple] = []
+    for e in result.worst():
+        if e.status == "ok" and not show_ok:
+            continue
+        rows.append([e.status.upper(), e.figure, e.point, e.field,
+                     e.base, e.new, f"{e.rel:+.2%}"])
+    lines = []
+    if rows:
+        lines.append(format_table(
+            ["status", "figure", "point", "field", "baseline", "new",
+             "rel"], rows,
+            title=f"BENCH diff (tolerance {tol:.2%})"))
+    regress = len(result.regressions)
+    drift = sum(e.status == "drift" for e in result.entries)
+    improve = sum(e.status == "improvement" for e in result.entries)
+    lines.append(f"[obs diff: {len(result.entries)} compared, "
+                 f"{regress} regression(s), {improve} improvement(s), "
+                 f"{drift} metric drift(s)]")
+    return "\n".join(lines)

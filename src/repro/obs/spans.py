@@ -1,0 +1,227 @@
+"""Hierarchical spans over the simulated-GPU executor.
+
+A run is recorded as a three-level span tree::
+
+    run                      (one per algorithm invocation)
+    └── step                 (a contiguous stretch of one phase tag)
+        └── kernel           (one SimulatedGPU.charge call)
+
+Kernel spans carry the modeled seconds, a FLOP estimate and the bytes
+moved (both from the :mod:`repro.perfmodel.costs` word model via the
+executor timing hooks), the device id, and the device-memory
+high-water mark sampled at charge time.  The recorder lays spans out
+on a single modeled clock — the same sequential layout
+:meth:`repro.gpu.trace.TimeLine.to_chrome_trace` uses — so the span
+tree, the timeline, and the Chrome-trace export all agree on phase
+attribution and totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+from ..gpu.trace import PHASES
+
+__all__ = ["Span", "PhaseCounter", "SpanRecorder"]
+
+SPAN_KINDS = ("run", "step", "kernel")
+
+
+@dataclass
+class Span:
+    """One node of the span tree (all times are modeled seconds)."""
+
+    name: str
+    kind: str
+    start: float = 0.0
+    duration: float = 0.0
+    phase: Optional[str] = None
+    device_id: int = 0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    memory_high_water: int = 0
+    children: List["Span"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPAN_KINDS:
+            raise ConfigurationError(
+                f"unknown span kind {self.kind!r}; expected {SPAN_KINDS}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict:
+        """Plain-data view (used by tests and the artifact metadata)."""
+        return {
+            "name": self.name, "kind": self.kind, "phase": self.phase,
+            "start": self.start, "duration": self.duration,
+            "device_id": self.device_id, "flops": self.flops,
+            "bytes_moved": self.bytes_moved,
+            "memory_high_water": self.memory_high_water,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass
+class PhaseCounter:
+    """Aggregated per-phase counters across one recorded run."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+
+    def add(self, seconds: float, flops: float, bytes_moved: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+        self.flops += flops
+        self.bytes_moved += bytes_moved
+
+    def to_dict(self) -> Dict:
+        return {"seconds": self.seconds, "calls": self.calls,
+                "flops": self.flops, "bytes_moved": self.bytes_moved}
+
+
+class SpanRecorder:
+    """Collects the span tree and counters for one (or more) runs.
+
+    Attach to an executor with ``executor.attach_recorder(recorder)``;
+    every subsequent :meth:`repro.gpu.device.SimulatedGPU.charge`
+    lands here as a kernel span.  Kernel spans arriving with a phase
+    different from the open step close that step and open a new one,
+    so the step level reflects the algorithm's actual phase sequence
+    (prng, sampling, the gemm/orth interleave, qrcp, qr, ...).
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[Span] = []
+        self.clock = 0.0
+        self._run: Optional[Span] = None
+        self._step: Optional[Span] = None
+        self.counters: Dict[str, PhaseCounter] = {}
+        self.peak_memory_bytes = 0
+
+    # -- run management ---------------------------------------------------
+    def begin_run(self, name: str = "run") -> Span:
+        """Open a run span; implicit for bare ``record_kernel`` calls."""
+        if self._run is not None:
+            raise ConfigurationError(
+                f"run {self._run.name!r} is still open; end it first")
+        self._run = Span(name=name, kind="run", start=self.clock)
+        self.runs.append(self._run)
+        return self._run
+
+    def end_run(self) -> Span:
+        if self._run is None:
+            raise ConfigurationError("no open run to end")
+        self._close_step()
+        run, self._run = self._run, None
+        run.duration = self.clock - run.start
+        return run
+
+    def run_span(self, name: str = "run") -> "_RunContext":
+        """``with recorder.run_span("fig11 m=50000"): ...``"""
+        return _RunContext(self, name)
+
+    # -- kernel ingestion (called by SimulatedGPU.charge) -----------------
+    def record_kernel(self, phase: str, label: str, seconds: float,
+                      flops: float = 0.0, bytes_moved: float = 0.0,
+                      device_id: int = 0, memory_high_water: int = 0
+                      ) -> Span:
+        if phase not in PHASES:
+            raise ConfigurationError(
+                f"unknown phase {phase!r}; expected one of {PHASES}")
+        if seconds < 0:
+            raise ConfigurationError(f"negative span duration: {seconds}")
+        if self._run is None:
+            self.begin_run()
+        if self._step is None or self._step.phase != phase:
+            self._close_step()
+            self._step = Span(name=phase, kind="step", phase=phase,
+                              start=self.clock)
+            self._run.children.append(self._step)
+        kernel = Span(name=label or phase, kind="kernel", phase=phase,
+                      start=self.clock, duration=seconds,
+                      device_id=device_id, flops=flops,
+                      bytes_moved=bytes_moved,
+                      memory_high_water=memory_high_water)
+        self._step.children.append(kernel)
+        self.clock += seconds
+        self._step.flops += flops
+        self._step.bytes_moved += bytes_moved
+        self.counters.setdefault(phase, PhaseCounter()).add(
+            seconds, flops, bytes_moved)
+        self.peak_memory_bytes = max(self.peak_memory_bytes,
+                                     int(memory_high_water))
+        return kernel
+
+    def _close_step(self) -> None:
+        if self._step is not None:
+            self._step.duration = self.clock - self._step.start
+            self._step = None
+
+    # -- aggregate views ---------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Total modeled seconds across every recorded kernel."""
+        return sum(c.seconds for c in self.counters.values())
+
+    @property
+    def total_flops(self) -> float:
+        return sum(c.flops for c in self.counters.values())
+
+    @property
+    def total_bytes_moved(self) -> float:
+        return sum(c.bytes_moved for c in self.counters.values())
+
+    def achieved_gflops(self) -> float:
+        """FLOPs over modeled seconds (0 when nothing was timed)."""
+        t = self.total
+        return self.total_flops / (t * 1e9) if t > 0 else 0.0
+
+    def kernel_spans(self) -> Iterator[Span]:
+        self._sync_open()
+        for run in self.runs:
+            for span in run.walk():
+                if span.kind == "kernel":
+                    yield span
+
+    def spans(self) -> List[Span]:
+        """The recorded run spans (open spans get a current-clock end)."""
+        self._sync_open()
+        return list(self.runs)
+
+    def _sync_open(self) -> None:
+        """Give still-open run/step spans an up-to-date duration."""
+        if self._step is not None:
+            self._step.duration = self.clock - self._step.start
+        if self._run is not None:
+            self._run.duration = self.clock - self._run.start
+
+    def counters_dict(self) -> Dict[str, Dict]:
+        """Per-phase counters in the paper's legend order."""
+        return {p: self.counters[p].to_dict()
+                for p in PHASES if p in self.counters}
+
+
+class _RunContext:
+    def __init__(self, recorder: SpanRecorder, name: str):
+        self.recorder = recorder
+        self.name = name
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self.recorder.begin_run(self.name)
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self.recorder.end_run()

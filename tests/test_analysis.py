@@ -265,6 +265,73 @@ class TestRS106:
                "__all__ = ['join']\n")
         assert run_rule(tmp_path, src, select=["RS106"]) == []
 
+    def test_pytest_modules_are_exempt(self, tmp_path):
+        src = "def test_api():\n    pass\n"
+        for rel in ("benchmarks/test_fig.py", "benchmarks/conftest.py",
+                    "tests/test_mod.py"):
+            assert run_rule(tmp_path, src, rel=rel,
+                            select=["RS106"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS107: bench publication via attach_series
+# ---------------------------------------------------------------------------
+
+class TestRS107:
+    BENCH = "benchmarks/test_fig.py"
+
+    def test_flags_bench_without_attach_series(self, tmp_path):
+        src = ("def test_fig(benchmark):\n"
+               "    benchmark(lambda: 1)\n")
+        out = run_rule(tmp_path, src, rel=self.BENCH, select=["RS107"])
+        assert rules_of(out) == ["RS107"]
+        assert "never calls attach_series" in out[0].message
+
+    def test_flags_direct_extra_info_write(self, tmp_path):
+        src = ("from repro.obs import attach_series\n"
+               "def test_fig(benchmark):\n"
+               "    attach_series(benchmark, 'figX', points=[])\n"
+               "    benchmark.extra_info['speedup'] = 2.0\n")
+        out = run_rule(tmp_path, src, rel=self.BENCH, select=["RS107"])
+        assert rules_of(out) == ["RS107"]
+        assert "direct write" in out[0].message
+
+    def test_flags_extra_info_update_and_setdefault(self, tmp_path):
+        src = ("def helper(benchmark):\n"
+               "    benchmark.extra_info.update(a=1)\n"
+               "    benchmark.extra_info.setdefault('b', 2)\n")
+        out = run_rule(tmp_path, src, rel=self.BENCH, select=["RS107"])
+        assert rules_of(out) == ["RS107", "RS107"]
+
+    def test_attach_series_bench_passes(self, tmp_path):
+        src = ("from repro.obs import attach_series\n"
+               "def test_fig(benchmark):\n"
+               "    data = benchmark(lambda: 1)\n"
+               "    attach_series(benchmark, 'figX', points=[])\n")
+        assert run_rule(tmp_path, src, rel=self.BENCH,
+                        select=["RS107"]) == []
+
+    def test_non_bench_function_untouched(self, tmp_path):
+        # No benchmark fixture, or not a test: nothing to publish.
+        src = ("def test_shape(problem):\n"
+               "    assert problem\n"
+               "def make_cases(benchmark):\n"
+               "    return []\n")
+        assert run_rule(tmp_path, src, rel=self.BENCH,
+                        select=["RS107"]) == []
+
+    def test_not_enforced_outside_benchmarks(self, tmp_path):
+        src = ("def test_fig(benchmark):\n"
+               "    benchmark.extra_info['x'] = 1\n")
+        assert run_rule(tmp_path, src, rel="repro/core/mod.py",
+                        select=["RS107"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("def test_fig(benchmark):  # repro: noqa RS107\n"
+               "    benchmark(lambda: 1)\n")
+        assert run_rule(tmp_path, src, rel=self.BENCH,
+                        select=["RS107"]) == []
+
 
 # ---------------------------------------------------------------------------
 # Engine: suppressions, selection, errors
@@ -385,13 +452,19 @@ _VIOLATIONS = {
     "RS104": "def f():\n    raise ValueError('x')\n",
     "RS105": "import numpy as np\ndef f():\n    return np.random.rand(3)\n",
     "RS106": "def api():\n    pass\n",
+    "RS107": ("def test_fig(benchmark):\n"
+              "    benchmark.extra_info['speedup'] = 2.0\n"),
 }
+
+#: Rules scoped by path need their fixture at a matching location.
+_VIOLATION_PATHS = {"RS107": ("benchmarks", "bad.py")}
 
 
 class TestCLI:
     @pytest.mark.parametrize("rule", sorted(_VIOLATIONS))
     def test_each_rule_fails_its_fixture(self, tmp_path, rule, capsys):
-        path = tmp_path / "repro" / "core" / "bad.py"
+        parts = _VIOLATION_PATHS.get(rule, ("repro", "core", "bad.py"))
+        path = tmp_path.joinpath(*parts)
         path.parent.mkdir(parents=True)
         path.write_text(_VIOLATIONS[rule], encoding="utf-8")
         code = analyze_main([str(path), "--select", rule, "--no-baseline"])
@@ -484,7 +557,9 @@ class TestAllowUntimedMath:
 
 class TestSelfCheck:
     def test_src_repro_clean_against_committed_baseline(self, capsys):
+        # Same scope as the CI job: the library tree and the benches.
         code = analyze_main([str(REPO_ROOT / "src" / "repro"),
+                             str(REPO_ROOT / "benchmarks"),
                              "--baseline",
                              str(REPO_ROOT / "analysis-baseline.json")])
         out = capsys.readouterr().out
