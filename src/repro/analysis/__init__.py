@@ -15,6 +15,9 @@ RS103   value-dependent op on ArrayLike without symbolic guard
 RS104   ``raise ValueError``/... instead of ``repro.errors``
 RS105   legacy ``np.random.*`` bypassing seeded Generators
 RS106   missing ``__all__`` / export drift
+RS107   bench series bypassing ``attach_series``
+RS108   direct ``device.charge`` in the stream-scheduled multi-GPU
+        executor (``repro/gpu/multigpu.py``)
 ======  =====================================================
 
 Run ``python -m repro.analysis src/repro`` (or ``python -m repro.cli

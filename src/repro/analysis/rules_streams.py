@@ -1,0 +1,55 @@
+"""Stream-scheduler rule: RS108 multi-GPU charges go through streams.
+
+The multi-GPU executor's modeled elapsed time is the critical path
+through the :class:`repro.gpu.streams.StreamScheduler` DAG.  A direct
+``device.charge(...)`` inside ``repro/gpu/multigpu.py`` charges the
+timeline *without* advancing the scheduler frontier, so the charged
+seconds silently vanish from ``MultiGPUExecutor.seconds`` — phase sums
+and elapsed time disagree and the Figure 15 ablation is corrupted.
+Every charge in that module must be submitted via the stream API
+(``self.streams.submit`` / ``submit_group`` or the ``_charge_*``
+helpers that wrap them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Tuple
+
+from .engine import BaseChecker, register
+
+__all__ = ["StreamChargeChecker", "STREAM_SCOPES"]
+
+#: Path fragments (posix) where RS108 is enforced: the executors whose
+#: clock is the stream scheduler's critical path.
+STREAM_SCOPES: Tuple[str, ...] = ("repro/gpu/multigpu.py",)
+
+
+@register
+class StreamChargeChecker(BaseChecker):
+    """RS108: no direct ``.charge(...)`` in the stream-scheduled
+    multi-GPU executor.
+
+    Flags any attribute call ending in ``.charge`` (``device.charge``,
+    ``self.device.charge``, ``dev.timeline.charge``, ...) inside
+    ``repro/gpu/multigpu.py``.  Time must flow through
+    ``self.streams.submit``/``submit_group`` so the scheduler's
+    frontier — and therefore ``seconds`` — sees it.
+    """
+
+    rule = "RS108"
+    summary = ("multi-GPU charges must go through the stream scheduler "
+               "(streams.submit/submit_group), not device.charge")
+
+    def run(self):
+        if not any(scope in self.ctx.relpath for scope in STREAM_SCOPES):
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "charge":
+            self.emit(node, "direct .charge() bypasses the stream "
+                            "scheduler; submit via self.streams so the "
+                            "critical-path clock sees this work")
+        self.generic_visit(node)

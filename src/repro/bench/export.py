@@ -74,7 +74,10 @@ def _obs_figures() -> Dict[str, Callable[[], Any]]:
         "fig11": figures.fig11_time_vs_rows,
         "fig12": figures.fig12_time_vs_cols,
         "fig13": figures.fig13_time_vs_rank,
-        "fig15": figures.fig15_multigpu_scaling,
+        # fig15 exports the overlap ablation: the pipelined (on) and
+        # serial-model (off) series, distinguished by the "overlap"
+        # point parameter.
+        "fig15": figures.fig15_overlap_ablation,
     }
 
 

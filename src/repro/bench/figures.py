@@ -27,6 +27,7 @@ from ..perfmodel.estimate import estimated_gflops_sweep
 from ..qr.qrcp import qp3_blocked
 from .harness import (FixedRankTiming, qp3_baseline_seconds, scale_rows,
                       timed_fixed_rank)
+from .sweep import run_sweep, timed_point
 
 __all__ = [
     "table1_matrices",
@@ -40,6 +41,7 @@ __all__ = [
     "fig13_time_vs_rank",
     "fig14_time_vs_iterations",
     "fig15_multigpu_scaling",
+    "fig15_overlap_ablation",
     "fig16_adaptive_convergence",
     "fig17_adaptive_time",
     "fig18_gemm_small_l",
@@ -210,10 +212,11 @@ def fig11_time_vs_rows(ms: Sequence[int] = DEFAULT_MS, n: int = 2_500,
                        spec: GPUSpec = KEPLER_K40C) -> List[Dict]:
     """Figure 11: phase-stacked random-sampling time and the QP3 line
     over the row count (n = 2 500, (k; p; q) = (54; 10; 1))."""
+    grid = [{"m": m, "n": n, "k": k, "p": p, "q": q, "spec": spec}
+            for m in ms]
     points = []
-    for m in ms:
-        t = timed_fixed_rank(m, n, k=k, p=p, q=q, spec=spec)
-        qp3 = qp3_baseline_seconds(m, n, k=k, spec=spec)
+    for pt, t in zip(grid, run_sweep(timed_point, grid)):
+        qp3 = qp3_baseline_seconds(pt["m"], n, k=k, spec=spec)
         points.append(_point(t, qp3=qp3, speedup=qp3 / t.total))
     return points
 
@@ -222,10 +225,11 @@ def fig12_time_vs_cols(ns: Sequence[int] = DEFAULT_NS, m: int = 50_000,
                        k: int = 54, p: int = 10, q: int = 1,
                        spec: GPUSpec = KEPLER_K40C) -> List[Dict]:
     """Figure 12: time over the column count (m = 50 000)."""
+    grid = [{"m": m, "n": n, "k": k, "p": p, "q": q, "spec": spec}
+            for n in ns]
     points = []
-    for n in ns:
-        t = timed_fixed_rank(m, n, k=k, p=p, q=q, spec=spec)
-        qp3 = qp3_baseline_seconds(m, n, k=k, spec=spec)
+    for pt, t in zip(grid, run_sweep(timed_point, grid)):
+        qp3 = qp3_baseline_seconds(m, pt["n"], k=k, spec=spec)
         points.append(_point(t, qp3=qp3, speedup=qp3 / t.total))
     return points
 
@@ -234,11 +238,11 @@ def fig13_time_vs_rank(ls: Sequence[int] = DEFAULT_LS, m: int = 50_000,
                        n: int = 2_500, p: int = 10, q: int = 1,
                        spec: GPUSpec = KEPLER_K40C) -> List[Dict]:
     """Figure 13: time over the subspace size ``l`` (k = l - p)."""
+    grid = [{"m": m, "n": n, "k": l - p, "p": p, "q": q, "spec": spec}
+            for l in ls]
     points = []
-    for l in ls:
-        k = l - p
-        t = timed_fixed_rank(m, n, k=k, p=p, q=q, spec=spec)
-        qp3 = qp3_baseline_seconds(m, n, k=k, spec=spec)
+    for pt, t in zip(grid, run_sweep(timed_point, grid)):
+        qp3 = qp3_baseline_seconds(m, n, k=pt["k"], spec=spec)
         points.append(_point(t, qp3=qp3, speedup=qp3 / t.total))
     return points
 
@@ -260,20 +264,42 @@ def fig14_time_vs_iterations(ms: Sequence[int] = DEFAULT_MS,
 
 def fig15_multigpu_scaling(ngs: Sequence[int] = (1, 2, 3), m: int = 150_000,
                            n: int = 2_500, k: int = 54, p: int = 10,
-                           q: int = 1,
-                           spec: GPUSpec = KEPLER_K40C) -> List[Dict]:
+                           q: int = 1, spec: GPUSpec = KEPLER_K40C,
+                           overlap: bool = True) -> List[Dict]:
     """Figure 15: strong scaling over 1-3 GPUs at (m; n) = (150k; 2.5k),
-    with the comms phase and the speedup over one GPU."""
+    with the comms phase and the speedup over one GPU.
+
+    ``overlap`` selects the stream schedule: ``True`` is the paper's
+    pipelined runtime (compute hides most of the PCIe reduction),
+    ``False`` the serial-sum ablation; points are tagged with the
+    setting so both series coexist in one artifact.
+    """
+    grid = [{"m": m, "n": n, "k": k, "p": p, "q": q, "ng": ng,
+             "spec": spec, "overlap": overlap} for ng in ngs]
     points = []
     base_total = None
-    for ng in ngs:
-        t = timed_fixed_rank(m, n, k=k, p=p, q=q, ng=ng, spec=spec)
+    for t in run_sweep(timed_point, grid):
         if base_total is None:
             base_total = t.total
         comms = t.breakdown.get("comms", 0.0)
         points.append(_point(t, speedup=base_total / t.total,
-                             comms_fraction=comms / t.total))
+                             comms_fraction=comms / t.total,
+                             overlap="on" if overlap else "off"))
     return points
+
+
+def fig15_overlap_ablation(ngs: Sequence[int] = (1, 2, 3),
+                           m: int = 150_000, n: int = 2_500, k: int = 54,
+                           p: int = 10, q: int = 1,
+                           spec: GPUSpec = KEPLER_K40C) -> List[Dict]:
+    """Figure 15 rendered both ways: the overlap=on points followed by
+    the overlap=off (serial-model) points, for the ablation plot and
+    the benchmark artifact."""
+    on = fig15_multigpu_scaling(ngs, m=m, n=n, k=k, p=p, q=q, spec=spec,
+                                overlap=True)
+    off = fig15_multigpu_scaling(ngs, m=m, n=n, k=k, p=p, q=q, spec=spec,
+                                 overlap=False)
+    return on + off
 
 
 # ----------------------------------------------------------------------

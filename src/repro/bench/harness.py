@@ -70,7 +70,8 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
                      ng: int = 1, sampler: str = "gaussian",
                      spec: GPUSpec = KEPLER_K40C,
                      seed: int = 0,
-                     recorder: Optional[SpanRecorder] = None
+                     recorder: Optional[SpanRecorder] = None,
+                     overlap: bool = True
                      ) -> FixedRankTiming:
     """Run the fixed-rank algorithm symbolically on the simulated
     device(s) and return the modeled phase breakdown.
@@ -78,12 +79,15 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
     Every run is watched by a :class:`repro.obs.spans.SpanRecorder`
     (pass ``recorder`` to supply your own and keep the span tree); the
     returned timing carries the recorder's aggregates (FLOPs, bytes
-    moved, achieved Gflop/s, peak device memory).
+    moved, achieved Gflop/s, peak device memory).  ``overlap`` selects
+    the multi-GPU stream schedule: ``True`` pipelines compute against
+    communication (the paper's runtime), ``False`` is the serial-sum
+    ablation; phase breakdowns are identical either way.
     """
     if ng == 1:
         ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed)
     else:
-        ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed)
+        ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed, overlap=overlap)
     rec = recorder if recorder is not None else SpanRecorder()
     ex.attach_recorder(rec)
     cfg = SamplingConfig(rank=k, oversampling=p, power_iterations=q,

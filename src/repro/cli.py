@@ -160,10 +160,15 @@ def _print_fig14() -> None:
 
 
 def _print_fig15() -> None:
-    points = figures.fig15_multigpu_scaling()
-    _print_stacked(points, "ng",
-                   "Figure 15: strong scaling, (m; n) = (150k; 2 500)",
-                   extra=("speedup", "comms_fraction"))
+    for overlap in (True, False):
+        points = figures.fig15_multigpu_scaling(overlap=overlap)
+        tag = "overlap=on" if overlap else "overlap=off (serial model)"
+        _print_stacked(points, "ng",
+                       f"Figure 15: strong scaling, (m; n) = "
+                       f"(150k; 2 500), {tag}",
+                       extra=("speedup", "comms_fraction"))
+        if overlap:
+            print()
 
 
 def _print_fig16() -> None:
@@ -320,6 +325,11 @@ def main(argv=None) -> int:
     if argv and argv[0] == "obs":
         from .obs.cli import main as obs_main
         return obs_main(argv[1:])
+    # `repro-bench sweep ...` delegates to the parallel sweep runner
+    # (serial-vs-pool wall-clock comparison for the CI job summary).
+    if argv and argv[0] == "sweep":
+        from .bench.sweep import main as sweep_main
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures; "
@@ -340,10 +350,18 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the experiment's raw data as "
                              "JSON to PATH (single experiments only)")
+    parser.add_argument("--parallel", metavar="N", type=int, default=None,
+                        help="run sweep grid points over N worker "
+                             "processes (0 = all cores); equivalent to "
+                             "REPRO_SWEEP_PROCS=N")
     args = parser.parse_args(argv)
 
     if args.full_scale:
         os.environ["REPRO_FULL_SCALE"] = "1"
+    if args.parallel is not None:
+        if args.parallel < 0:
+            parser.error("--parallel must be >= 0")
+        os.environ["REPRO_SWEEP_PROCS"] = str(args.parallel)
     _PLOT["enabled"] = bool(args.plot)
 
     if args.experiment == "list":

@@ -15,6 +15,7 @@ Modules
 - :mod:`repro.gpu.trace` — phase-tagged timelines.
 - :mod:`repro.gpu.memory` — device memory accounting and transfers.
 - :mod:`repro.gpu.device` — the simulated device + executors.
+- :mod:`repro.gpu.streams` — stream/event scheduler (critical path).
 - :mod:`repro.gpu.multigpu` — 1D block-row multi-GPU runtime (Fig. 4).
 """
 
@@ -24,6 +25,7 @@ from .kernels import KernelModel
 from .trace import TimeLine, Phase, PHASES
 from .memory import DeviceMemory, TransferModel
 from .device import SymArray, SimulatedGPU, NumpyExecutor, GPUExecutor
+from .streams import StreamEvent, StreamScheduler
 from .multigpu import MultiGPUExecutor
 from .cluster import ClusterExecutor, NetworkSpec, cluster_qp3_seconds
 
@@ -41,6 +43,8 @@ __all__ = [
     "SimulatedGPU",
     "NumpyExecutor",
     "GPUExecutor",
+    "StreamEvent",
+    "StreamScheduler",
     "MultiGPUExecutor",
     "ClusterExecutor",
     "NetworkSpec",

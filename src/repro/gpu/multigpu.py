@@ -16,11 +16,23 @@ block-*column* format as ``A^T``.  The dataflow follows the paper:
   run on device 0 / via multi-GPU CholQR respectively.
 
 Math is executed once on the host arrays (results are identical to the
-single-device path by construction); the *timing* is modeled per-device
-with the local shapes, plus explicit PCIe reduction/broadcast charges —
-reproducing the 1.6 % / 4.3 % communication fractions and the
-superlinear GEMM scaling of Figure 15 (the local panels get shorter, so
-the per-device GEMM rate rises).
+single-device path by construction); the *timing* runs through the
+:class:`repro.gpu.streams.StreamScheduler`: every operation is placed
+on per-device streams (``compute``, ``d2h``/``h2d`` sharing the host's
+``pcie`` lane, CPU work on the host ``cpu`` stream) and the modeled
+run time is the critical path through that DAG.  With ``overlap=True``
+(the default, matching the paper's pipelined runtime) the partial-sum
+reduction of ``B`` is chunked and each chunk's gather overlaps the
+next chunk's local GEMM, and the tall-skinny CholQR double-buffers its
+Gram transfers behind the second SYRK buffer; ``overlap=False``
+serializes every submission, restoring the plain serial-sum model.
+Phase *sums* are identical either way — only the elapsed critical path
+differs — reproducing the 1.6 % / 4.3 % communication fractions and
+the superlinear GEMM scaling of Figure 15 (the local panels get
+shorter, so the per-device GEMM rate rises).
+
+All charging goes through the stream API; ``device.charge`` must not
+be called directly here (analyzer rule RS108).
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from ..errors import ConfigurationError, ShapeError
 from .device import (ArrayLike, GPUExecutor, SimulatedGPU, SymArray,
                      is_symbolic, shape_of)
 from .specs import GPUSpec, KEPLER_K40C
+from .streams import HOST, StreamEvent, StreamScheduler
 
 __all__ = ["CPUSpec", "MultiGPUExecutor"]
 
@@ -62,22 +75,43 @@ class MultiGPUExecutor(GPUExecutor):
     Per-parallel-operation time is charged once with the *local* block
     shapes (the devices are symmetric, so the max over devices equals
     the device-0 time); communication goes to the ``comms`` phase.
+    ``overlap`` selects the pipelined stream schedule (on, the paper's
+    runtime) or the serial sum (off, the ablation baseline);
+    ``pipeline_chunks`` is the gather pipeline depth.
     """
 
     def __init__(self, ng: int, spec: GPUSpec = KEPLER_K40C,
                  cpu: CPUSpec = CPUSpec(),
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 overlap: bool = True,
+                 pipeline_chunks: int = 4):
         if ng < 1:
             raise ConfigurationError(f"ng must be >= 1, got {ng}")
+        if pipeline_chunks < 1:
+            raise ConfigurationError(
+                f"pipeline_chunks must be >= 1, got {pipeline_chunks}")
         super().__init__(spec=spec, seed=seed)
         self.ng = ng
         self.cpu = cpu
+        self.overlap = bool(overlap)
+        self.pipeline_chunks = pipeline_chunks
         self.devices: List[SimulatedGPU] = [
             SimulatedGPU(spec, device_id=i) for i in range(ng)]
         # Device 0 doubles as the master clock target via `self.device`.
         self.device = self.devices[0]
         self.kernels = self.device.kernels
+        # All charges go through the scheduler onto device 0's master
+        # timeline; `seconds` reads the scheduler's critical path.
+        self.streams = StreamScheduler(ng=ng, overlap=self.overlap,
+                                       timeline=self.device.timeline)
+        self.streams.memory_probe = self._memory_high_water
         self._dist_cols: Optional[int] = None  # = m once bound
+        #: Per-chunk completion events of the last pipelined local GEMM
+        #: (consumed by `_reduce_b` to overlap the gather).
+        self._chunk_events: Optional[List[StreamEvent]] = None
+
+    def _memory_high_water(self, device_id: int) -> int:
+        return self.devices[device_id].memory.high_water
 
     # ------------------------------------------------------------------
     # distribution helpers
@@ -87,20 +121,31 @@ class MultiGPUExecutor(GPUExecutor):
         dimension (its row count ``m``) and accounts device memory."""
         m, n = shape_of(a)
         self._dist_cols = m
-        local_rows = self.local_rows(m)
-        for dev in self.devices:
+        for d, dev in enumerate(self.devices):
             dev.memory.reset()
-            dev.memory.allocate(8 * local_rows * n)
+            dev.memory.allocate(8 * self.local_rows_of(d, m) * n)
 
     def attach_recorder(self, recorder) -> None:
         """Attach one span recorder across every simulated device (the
-        kernel spans carry each device's id)."""
+        kernel spans carry each device's id and stream)."""
         for dev in self.devices:
             dev.attach_recorder(recorder)
+        self.streams.attach_recorder(recorder)
+
+    def reset_clock(self) -> None:
+        for dev in self.devices:
+            dev.reset()
+        self.streams.reset(timeline=self.device.timeline)
 
     def local_rows(self, m: int) -> int:
         """Rows of the largest local block ``A_(i)``."""
         return -(-m // self.ng)  # ceil division
+
+    def local_rows_of(self, device_id: int, m: int) -> int:
+        """Rows actually owned by ``device_id``: the last device of a
+        ragged split gets the (smaller) remainder block."""
+        c = self.local_rows(m)
+        return min(c, max(0, m - device_id * c))
 
     def _is_distributed_width(self, cols: int) -> bool:
         """True when a short-wide block's width is the distributed
@@ -108,16 +153,48 @@ class MultiGPUExecutor(GPUExecutor):
         across devices), as opposed to the replicated ``B`` (width n)."""
         return self._dist_cols is not None and cols == self._dist_cols
 
+    # ------------------------------------------------------------------
+    # stream-API charging helpers (RS108: no direct device.charge here)
+    # ------------------------------------------------------------------
+    def _all_compute(self) -> List[Tuple[int, str]]:
+        return [(d, "compute") for d in range(self.ng)]
+
     def _charge_all(self, phase: str, seconds: float, label: str,
                     flops: float = 0.0, bytes_moved: float = 0.0) -> None:
-        """Charge symmetric parallel work (counted once: max = local)."""
-        self.device.charge(phase, seconds, label, flops=flops,
-                           bytes_moved=bytes_moved)
+        """Charge symmetric parallel work (counted once: max = local),
+        joined after everything in flight."""
+        self.streams.submit_group(phase, seconds,
+                                  placements=self._all_compute(),
+                                  after_all=True, label=label,
+                                  flops=flops, bytes_moved=bytes_moved)
 
     def _charge_comm(self, seconds: float, label: str,
                      bytes_moved: float = 0.0) -> None:
-        self.device.charge("comms", seconds, label,
-                           bytes_moved=bytes_moved)
+        """One serialized transfer through the shared PCIe lane."""
+        self.streams.submit("comms", seconds, device=0, stream="d2h",
+                            resources=[(HOST, "pcie")], after_all=True,
+                            label=label, bytes_moved=bytes_moved)
+
+    def _chunks(self) -> int:
+        return self.pipeline_chunks if self.overlap else 1
+
+    def _local_gemm(self, phase: str, seconds: float, label: str,
+                    flops: float, bytes_moved: float) -> None:
+        """Pipelined symmetric local GEMM: split into chunks so the
+        per-chunk gather of a following reduction can overlap the next
+        chunk's compute.  Chunk completion events are parked in
+        ``_chunk_events`` for :meth:`_reduce_b`."""
+        chunks = self._chunks()
+        self._chunk_events = []
+        for j in range(chunks):
+            ev = self.streams.submit_group(
+                phase, seconds / chunks,
+                placements=self._all_compute(),
+                after_all=(j == 0),
+                label=(label if chunks == 1
+                       else f"{label} c{j + 1}/{chunks}"),
+                flops=flops / chunks, bytes_moved=bytes_moved / chunks)
+            self._chunk_events.append(ev)
 
     # ------------------------------------------------------------------
     # overridden operations (timing only; math identical to base class)
@@ -126,22 +203,23 @@ class MultiGPUExecutor(GPUExecutor):
                       symbolic: bool = False) -> ArrayLike:
         # Omega is generated distributed (rows x c per device).
         c = self.local_rows(cols) if self._dist_cols == cols else cols
-        self.device.charge("prng", self.kernels.curand_seconds(rows * c),
-                           label=f"curand {rows}x{c} (local)",
-                           flops=float(rows * c), bytes_moved=8.0 * rows * c)
+        self._charge_all("prng", self.kernels.curand_seconds(rows * c),
+                         label=f"curand {rows}x{c} (local)",
+                         flops=float(rows * c), bytes_moved=8.0 * rows * c)
         if symbolic:
             return SymArray((rows, cols))
         return self.rng.standard_normal((rows, cols))
 
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
-        """``B_(i) = Omega_(i) A_(i)`` locally, then CPU accumulation."""
+        """``B_(i) = Omega_(i) A_(i)`` locally, then CPU accumulation;
+        the chunked gather overlaps the next chunk's GEMM."""
         from .device import _mm, _words_bytes
         from .kernels import gemm_flops
         l, m = shape_of(omega)
         n = shape_of(a)[1]
         c = self.local_rows(m)
         flops = gemm_flops(l, n, c)
-        self._charge_all("sampling", self.kernels.gemm_seconds(l, n, c),
+        self._local_gemm("sampling", self.kernels.gemm_seconds(l, n, c),
                          label=f"gemm {l}x{n}x{c} (local)", flops=flops,
                          bytes_moved=_words_bytes(flops, l * c, c * n,
                                                   l * n))
@@ -149,20 +227,42 @@ class MultiGPUExecutor(GPUExecutor):
         return _mm(omega, a)
 
     def _reduce_b(self, l: int, n: int) -> None:
-        """Gather ng partial l x n blocks to the CPU and sum them."""
-        t = self.device.transfers.reduce_seconds(8 * l * n, self.ng)
-        self._charge_comm(t, f"reduce B {l}x{n} x{self.ng}",
-                          bytes_moved=8.0 * l * n * self.ng)
+        """Gather ng partial l x n blocks to the CPU and sum them.
+
+        Each device's gather of chunk ``j`` depends only on its chunk-
+        ``j`` GEMM (the events parked by :meth:`_local_gemm`), so with
+        ``overlap=on`` the transfers drain behind the remaining compute;
+        the shared ``pcie`` resource serializes concurrent devices,
+        keeping the total transfer time equal to
+        :meth:`repro.gpu.memory.TransferModel.reduce_seconds`.
+        """
+        chunk_events = self._chunk_events or [self.streams.barrier()]
+        self._chunk_events = None
+        chunks = len(chunk_events)
+        total = self.device.transfers.reduce_seconds(8 * l * n, self.ng)
+        per_leg = total / (self.ng * chunks)
+        for j, ev in enumerate(chunk_events):
+            for d in range(self.ng):
+                self.streams.submit(
+                    "comms", per_leg, device=d, stream="d2h",
+                    resources=[(HOST, "pcie")], deps=[ev],
+                    label=f"reduce B {l}x{n} x{self.ng}",
+                    bytes_moved=8.0 * l * n / chunks)
         # CPU accumulation: (ng - 1) adds of l*n.
         if self.ng > 1:
-            self._charge_all("comms",
-                             self.cpu.gemm_seconds((self.ng - 1) * l * n),
-                             label="cpu accumulate",
-                             flops=float((self.ng - 1) * l * n))
+            self.streams.submit(
+                "comms", self.cpu.gemm_seconds((self.ng - 1) * l * n),
+                device=HOST, stream="cpu", after_all=True,
+                label="cpu accumulate",
+                flops=float((self.ng - 1) * l * n))
 
     def _broadcast(self, l: int, n: int, label: str) -> None:
-        t = self.device.transfers.broadcast_seconds(8 * l * n, self.ng)
-        self._charge_comm(t, label, bytes_moved=8.0 * l * n * self.ng)
+        total = self.device.transfers.broadcast_seconds(8 * l * n, self.ng)
+        for d in range(self.ng):
+            self.streams.submit("comms", total / self.ng, device=d,
+                                stream="h2d", resources=[(HOST, "pcie")],
+                                after_all=(d == 0), label=label,
+                                bytes_moved=8.0 * l * n)
 
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``C_(i) = B A_(i)^T`` locally; C stays distributed."""
@@ -189,7 +289,7 @@ class MultiGPUExecutor(GPUExecutor):
         c = self.local_rows(m)
         eff = self.device.spec.iter_gemm_efficiency
         flops = gemm_flops(l, n, c)
-        self._charge_all("gemm_iter",
+        self._local_gemm("gemm_iter",
                          self.kernels.gemm_seconds(l, n, c, efficiency=eff),
                          label=f"gemm {l}x{n}x{c} (local)", flops=flops,
                          bytes_moved=_words_bytes(flops, l * c, c * n,
@@ -201,60 +301,102 @@ class MultiGPUExecutor(GPUExecutor):
                 phase: str) -> None:
         """Orthogonalization timing: CPU for the replicated ``B``,
         multi-GPU CholQR (Figure 4) for the distributed ``C`` and for
-        the tall-skinny Step-3 QR."""
+        the tall-skinny Step-3 QR (double-buffered: the first SYRK
+        buffer's partial Gram ships while the second buffer computes)."""
         from .device import _words_bytes
         from .kernels import qr_flops
         passes = 2 if reorth else 1
         if self._is_distributed_width(max(rows, cols)) or phase == "qr":
-            # Distributed CholQR: local SYRK over c columns/rows, reduce
-            # the small Gram, CPU Cholesky, broadcast, local TRSM.
-            small = min(rows, cols)
-            long_local = self.local_rows(max(rows, cols))
-            per_pass = (self.kernels.syrk_seconds(small, long_local)
-                        + self.kernels.trsm_seconds(small, long_local))
-            cpu = self.cpu.potrf_seconds(small)
-            comm = (self.device.transfers.reduce_seconds(
-                        8 * small * small, self.ng)
-                    + self.device.transfers.broadcast_seconds(
-                        8 * small * small, self.ng))
-            flops = passes * qr_flops(long_local, small)
-            self._charge_all(phase, passes * (per_pass + cpu),
-                             label=f"mgpu-cholqr {rows}x{cols}",
-                             flops=flops,
-                             bytes_moved=_words_bytes(
-                                 flops, passes * long_local * small))
-            self._charge_comm(passes * comm, "cholqr gram/factor",
-                              bytes_moved=passes * 16.0 * small * small
-                              * self.ng)
-        else:
-            # Replicated short-wide B: factor on the CPU, broadcast Q.
-            small = min(rows, cols)
-            long = max(rows, cols)
-            flops = 2.0 * long * small * small * passes * 2
-            self._charge_all(phase, self.cpu.panel_seconds(flops),
-                             label=f"cpu-{scheme} {rows}x{cols}",
-                             flops=flops,
-                             bytes_moved=8.0 * rows * cols * passes)
-            self._broadcast(rows, cols, "broadcast Q_B")
+            self._distributed_cholqr(rows, cols, passes, phase)
+            return
+        # Replicated short-wide B: factor on the CPU, broadcast Q.
+        small = min(rows, cols)
+        long = max(rows, cols)
+        flops = 2.0 * long * small * small * passes * 2
+        self.streams.submit(phase, self.cpu.panel_seconds(flops),
+                            device=HOST, stream="cpu", after_all=True,
+                            label=f"cpu-{scheme} {rows}x{cols}",
+                            flops=flops,
+                            bytes_moved=8.0 * rows * cols * passes)
+        self._broadcast(rows, cols, "broadcast Q_B")
+
+    def _distributed_cholqr(self, rows: int, cols: int, passes: int,
+                            phase: str) -> None:
+        """Distributed CholQR: local SYRK over c columns/rows, reduce
+        the small Gram, CPU Cholesky, broadcast R_bar, local TRSM.
+
+        The SYRK runs in two buffers per pass; each buffer's partial
+        Gram goes down the ``d2h`` stream as soon as it finishes, so
+        the first transfer hides behind the second buffer's compute.
+        """
+        from .device import _words_bytes
+        from .kernels import qr_flops
+        small = min(rows, cols)
+        long_local = self.local_rows(max(rows, cols))
+        syrk = self.kernels.syrk_seconds(small, long_local)
+        trsm = self.kernels.trsm_seconds(small, long_local)
+        cpu = self.cpu.potrf_seconds(small)
+        reduce_t = self.device.transfers.reduce_seconds(
+            8 * small * small, self.ng)
+        bcast_t = self.device.transfers.broadcast_seconds(
+            8 * small * small, self.ng)
+        flops = passes * qr_flops(long_local, small)
+        bytes_moved = _words_bytes(flops, passes * long_local * small)
+        # Per accounted compute submission (2 SYRK buffers + 1 TRSM
+        # per pass): the totals are preserved exactly.
+        flops_each = flops / (passes * 3)
+        bytes_each = bytes_moved / (passes * 3)
+        label = f"mgpu-cholqr {rows}x{cols}"
+        for _ in range(passes):
+            buffers = []
+            for b in range(2):
+                buffers.append(self.streams.submit_group(
+                    phase, syrk / 2, placements=self._all_compute(),
+                    after_all=(b == 0), label=f"{label} syrk b{b + 1}/2",
+                    flops=flops_each, bytes_moved=bytes_each))
+            for b, ev in enumerate(buffers):
+                for d in range(self.ng):
+                    self.streams.submit(
+                        "comms", reduce_t / (2 * self.ng), device=d,
+                        stream="d2h", resources=[(HOST, "pcie")],
+                        deps=[ev], label="cholqr gram/factor",
+                        bytes_moved=8.0 * small * small)
+            potrf = self.streams.submit(phase, cpu, device=HOST,
+                                        stream="cpu", after_all=True,
+                                        label=f"cpu-potrf {small}")
+            for d in range(self.ng):
+                self.streams.submit(
+                    "comms", bcast_t / self.ng, device=d, stream="h2d",
+                    resources=[(HOST, "pcie")], deps=[potrf],
+                    label="cholqr gram/factor",
+                    bytes_moved=8.0 * small * small)
+            self.streams.submit_group(
+                phase, trsm, placements=self._all_compute(),
+                after_all=True, label=f"{label} trsm",
+                flops=flops_each, bytes_moved=bytes_each)
 
     def _t_qrcp(self, m: int, n: int, k: int) -> None:
         from .kernels import qp3_flops
         # Truncated QP3 of the small sampled matrix on device 0; B must
         # first be sent down to the device.
-        self._charge_comm(self.device.transfers.seconds(8 * m * n),
-                          "h2d B for QP3", bytes_moved=8.0 * m * n)
+        h2d = self.streams.submit(
+            "comms", self.device.transfers.seconds(8 * m * n),
+            device=0, stream="h2d", resources=[(HOST, "pcie")],
+            after_all=True, label="h2d B for QP3",
+            bytes_moved=8.0 * m * n)
         flops = qp3_flops(m, n, k)
-        self.device.charge("qrcp", self.kernels.qp3_seconds(m, n, k),
-                           label=f"qp3 {m}x{n} k={k}", flops=flops,
-                           bytes_moved=8.0 * (flops / 2.0 + m * n))
+        self.streams.submit("qrcp", self.kernels.qp3_seconds(m, n, k),
+                            device=0, stream="compute", deps=[h2d],
+                            label=f"qp3 {m}x{n} k={k}", flops=flops,
+                            bytes_moved=8.0 * (flops / 2.0 + m * n))
 
     def _t_copy(self, nbytes: int, phase: str) -> None:
         # Column gather happens locally on each device (rows split).
         local = nbytes // self.ng
         secs = (2 * local / (self.device.spec.mem_bw_gbs * 1e9)
                 + self.device.spec.kernel_launch_s)
-        self.device.charge(phase, secs, label=f"copy {local}B (local)",
-                           bytes_moved=2.0 * local)
+        self._charge_all(phase, secs, label=f"copy {local}B (local)",
+                         bytes_moved=2.0 * local)
 
     def _t_block_orth(self, prev: int, new: int, length: int,
                       reorth: bool, phase: str) -> None:
@@ -263,24 +405,89 @@ class MultiGPUExecutor(GPUExecutor):
             c = self.local_rows(length)
             secs = self.kernels.block_orth_seconds(prev, new, c, reorth)
             flops = 4.0 * prev * new * c * (2 if reorth else 1)
+            ev = self.streams.submit_group(
+                phase, secs, placements=self._all_compute(),
+                after_all=True, label=f"borth {prev}+{new} (local)",
+                flops=flops,
+                bytes_moved=_words_bytes(flops, (prev + new) * c))
             # The small coefficient blocks travel through the host.
             comm = self.device.transfers.reduce_seconds(
                 8 * prev * new, self.ng) * (2 if reorth else 1)
-            self._charge_all(phase, secs, f"borth {prev}+{new} (local)",
-                             flops=flops,
-                             bytes_moved=_words_bytes(
-                                 flops, (prev + new) * c))
-            self._charge_comm(comm, "borth coeffs",
-                              bytes_moved=8.0 * prev * new * self.ng
-                              * (2 if reorth else 1))
+            for d in range(self.ng):
+                self.streams.submit(
+                    "comms", comm / self.ng, device=d, stream="d2h",
+                    resources=[(HOST, "pcie")], deps=[ev],
+                    label="borth coeffs",
+                    bytes_moved=8.0 * prev * new * (2 if reorth else 1))
         else:
             # Replicated B: block-orth on the CPU alongside its QR.
             flops = 4.0 * prev * new * length * (2 if reorth else 1)
-            self._charge_all(phase, self.cpu.gemm_seconds(flops),
-                             label=f"cpu-borth {prev}+{new}x{length}",
-                             flops=flops,
-                             bytes_moved=8.0 * (prev + new) * length)
+            self.streams.submit(phase, self.cpu.gemm_seconds(flops),
+                                device=HOST, stream="cpu", after_all=True,
+                                label=f"cpu-borth {prev}+{new}x{length}",
+                                flops=flops,
+                                bytes_moved=8.0 * (prev + new) * length)
+
+    # -- inherited single-device hooks rerouted through the scheduler ----
+    # (these ops have no distributed decomposition; they run on device 0
+    # after a global join, so the critical path still covers them)
+    def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None:
+        from .device import _words_bytes
+        from .kernels import gemm_flops
+        secs = self.kernels.gemm_seconds(
+            m, n, k, efficiency=self._gemm_efficiency(phase))
+        flops = gemm_flops(m, n, k)
+        self.streams.submit(phase, secs, device=0, stream="compute",
+                            after_all=True, label=f"gemm {m}x{n}x{k}",
+                            flops=flops,
+                            bytes_moved=_words_bytes(flops, m * k, k * n,
+                                                     m * n))
+
+    def _t_prng(self, count: int) -> None:
+        self.streams.submit("prng", self.kernels.curand_seconds(count),
+                            device=0, stream="compute", after_all=True,
+                            label=f"curand {count}", flops=float(count),
+                            bytes_moved=8.0 * count)
+
+    def _t_fft(self, m: int, n: int, axis: str) -> None:
+        from .device import _words_bytes
+        padded = self.kernels._pad_pow2(m if axis == "row" else n)
+        flops = 5.0 * padded * np.log2(max(2, padded)) \
+            * (n if axis == "row" else m)
+        self.streams.submit("sampling",
+                            self.kernels.fft_sampling_seconds(m, n, axis),
+                            device=0, stream="compute", after_all=True,
+                            label=f"fft {m}x{n} {axis}", flops=flops,
+                            bytes_moved=_words_bytes(flops, m * n))
+
+    def _t_trsolve(self, rows: int, cols: int, phase: str) -> None:
+        from .device import _words_bytes
+        from .kernels import gemm_flops
+        flops = gemm_flops(rows, cols, rows) / 2.0
+        self.streams.submit(phase, self.kernels.trsm_seconds(rows, cols),
+                            device=0, stream="compute", after_all=True,
+                            label=f"trsm {rows}x{cols}", flops=flops,
+                            bytes_moved=_words_bytes(flops, rows * cols))
+
+    def _t_svd(self, m: int, n: int, phase: str) -> None:
+        from .device import _words_bytes
+        small = min(m, n)
+        flops = 14.0 * m * n * small
+        self.streams.submit(phase, self.kernels.svd_small_seconds(m, n),
+                            device=0, stream="compute", after_all=True,
+                            label=f"gesvd {m}x{n}", flops=flops,
+                            bytes_moved=_words_bytes(flops, m * n))
+
+    def _t_rownorms(self, rows: int, cols: int, phase: str) -> None:
+        flops = 2.0 * rows * cols
+        self.streams.submit(phase,
+                            self.kernels.row_norms_seconds(rows, cols),
+                            device=0, stream="compute", after_all=True,
+                            label=f"rownorms {rows}x{cols}", flops=flops,
+                            bytes_moved=8.0 * rows * cols)
 
     @property
     def seconds(self) -> float:
-        return self.device.elapsed
+        """Modeled elapsed seconds: the critical path through the
+        stream DAG (equals the serial phase sum when ``overlap=off``)."""
+        return self.streams.elapsed

@@ -4,10 +4,20 @@ Benches and tests request matrices by name (``"power"``, ``"exponent"``,
 ``"hapmap"``) at either paper scale or a reduced scale; the registry
 also computes the Table 1 summary row (sigma_0, sigma_{k+1}, kappa) for
 a generated instance.
+
+Instances are memoized in a small per-process LRU keyed on
+``(name, m, n, seed)`` — sweep grids hit the same few matrices dozens
+of times and generation (a Haar-random orthogonal factor per side)
+dominates their host wall-clock.  Only integer seeds are cached (a
+Generator carries hidden state); cache hits return a fresh copy so
+callers can mutate freely.  Tune with ``REPRO_MATRIX_CACHE`` (entry
+count, 0 disables).
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -19,7 +29,43 @@ from .hapmap_like import hapmap_like_matrix
 from .synthetic import RngLike
 
 __all__ = ["MatrixSpec", "TABLE1_SPECS", "get_matrix", "list_matrices",
-           "table1_row"]
+           "table1_row", "matrix_cache_info", "clear_matrix_cache"]
+
+#: Default LRU capacity (entries); override with REPRO_MATRIX_CACHE.
+_CACHE_DEFAULT_ENTRIES = 8
+#: Entries larger than this many bytes are never cached (a paper-scale
+#: 500k x 500 matrix is 2 GB; caching it would evict everything else
+#: for no win and pin the memory).
+_CACHE_MAX_ENTRY_BYTES = 256 * 1024 * 1024
+
+_CACHE: "OrderedDict[Tuple[str, int, int, int], np.ndarray]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get("REPRO_MATRIX_CACHE", "").strip()
+    if not raw:
+        return _CACHE_DEFAULT_ENTRIES
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_MATRIX_CACHE must be an integer, got {raw!r}") from None
+    if cap < 0:
+        raise ConfigurationError(
+            f"REPRO_MATRIX_CACHE must be >= 0, got {cap}")
+    return cap
+
+
+def matrix_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process matrix LRU."""
+    return {"hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"], "entries": len(_CACHE)}
+
+
+def clear_matrix_cache() -> None:
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = _CACHE_STATS["misses"] = 0
 
 
 @dataclass(frozen=True)
@@ -105,7 +151,8 @@ def get_matrix(name: str, m: Optional[int] = None, n: Optional[int] = None,
         note the paper's ``m`` is 500 000; pass something smaller for
         interactive use).
     seed:
-        PRNG seed; defaults to 0 for reproducible benches.
+        PRNG seed; defaults to 0 for reproducible benches.  Integer
+        seeds hit the LRU cache; Generator instances always regenerate.
     """
     try:
         spec = TABLE1_SPECS[name]
@@ -114,8 +161,25 @@ def get_matrix(name: str, m: Optional[int] = None, n: Optional[int] = None,
             f"unknown matrix {name!r}; available: {list_matrices()}"
         ) from None
     pm, pn = spec.paper_shape
-    return spec.factory(m if m is not None else pm,
-                        n if n is not None else pn, seed)
+    mm = m if m is not None else pm
+    nn = n if n is not None else pn
+    capacity = _cache_capacity()
+    if capacity == 0 or not isinstance(seed, (int, np.integer)):
+        return spec.factory(mm, nn, seed)
+    key = (name, int(mm), int(nn), int(seed))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        return cached.copy()
+    _CACHE_STATS["misses"] += 1
+    a = spec.factory(mm, nn, seed)
+    if a.nbytes <= _CACHE_MAX_ENTRY_BYTES:
+        _CACHE[key] = a
+        while len(_CACHE) > capacity:
+            _CACHE.popitem(last=False)
+        return a.copy()
+    return a
 
 
 def table1_row(a: np.ndarray, k: int = 50) -> Dict[str, float]:

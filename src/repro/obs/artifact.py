@@ -24,9 +24,12 @@ keyed by their parameter assignment::
       }
     }
 
-``phases`` are modeled seconds per phase-legend tag and always sum to
-``total_seconds`` (the executor clock) — the diff gate in
-:mod:`repro.obs.diff` leans on that invariant.  Benches publish their
+``phases`` are modeled seconds per phase-legend tag and sum to
+``total_seconds`` (the executor clock) for serial runs; under the
+stream scheduler's ``overlap=on`` schedule the phase sum can *exceed*
+``total_seconds`` (the critical path), never undershoot it.  The diff
+gate in :mod:`repro.obs.diff` compares per-phase values and totals
+independently, so both layouts diff cleanly.  Benches publish their
 reproduced series with :func:`attach_series`, which both records them
 on ``benchmark.extra_info`` (so pytest-benchmark JSON keeps them) and
 registers them for the session-level artifact the CI jobs upload.
@@ -55,7 +58,7 @@ ARTIFACT_KIND = "repro-bench"
 
 #: Parameter keys recognized in the breakdown-point dicts produced by
 #: :func:`repro.bench.figures._point` (the sweep identity of a point).
-_BREAKDOWN_PARAMS = ("m", "n", "k", "l", "q", "ng")
+_BREAKDOWN_PARAMS = ("m", "n", "k", "l", "q", "ng", "overlap")
 
 
 def to_jsonable(value: Any) -> Any:

@@ -5,6 +5,13 @@ Dump with :func:`write_chrome_trace` and open the file in Perfetto
 phase steps appear on a "run" thread, the kernels on one thread per
 phase, all in microseconds of modeled time.
 
+Stream-scheduled kernels (multi-GPU runs through
+:mod:`repro.gpu.streams`) additionally land on one *process per
+device* — ``gpu0``, ``gpu1``, ... plus ``host`` — with one thread per
+named stream (``compute``, ``comms``, ``h2d``, ``d2h`` / ``cpu``,
+``pcie``), so Perfetto renders the actual compute-communication
+overlap per device.
+
 The emitted document is the object form of the trace-event format::
 
     {"traceEvents": [...], "displayTimeUnit": "ms"}
@@ -31,10 +38,26 @@ __all__ = ["spans_to_chrome", "chrome_document", "write_chrome_trace",
 _RUN_TID = 0
 _PHASE_TIDS = {name: i + 1 for i, name in enumerate(PHASES)}
 
+#: Stream-scheduled kernels get one process per device: pid 1 is the
+#: host (cpu/pcie streams), GPUs start at pid 2 (gpu0 -> 2, gpu1 -> 3,
+#: ...), leaving pid 0 for the run/phase layout above.
+_HOST_PID = 1
+_DEVICE_PID_BASE = 2
+_STREAM_TIDS = {"compute": 0, "comms": 1, "h2d": 2, "d2h": 3,
+                "cpu": 0, "pcie": 1}
+
 
 def _meta(pid: int, tid: int, name: str, value: str) -> Dict:
     return {"ph": "M", "pid": pid, "tid": tid, "name": name,
             "args": {"name": value}}
+
+
+def _stream_track(span: Span) -> tuple:
+    """(pid, tid, process name) of a stream-scheduled kernel span."""
+    if span.device_id < 0:
+        return _HOST_PID, _STREAM_TIDS[span.stream], "host"
+    return (_DEVICE_PID_BASE + span.device_id, _STREAM_TIDS[span.stream],
+            f"gpu{span.device_id}")
 
 
 def spans_to_chrome(recorder: Union[SpanRecorder, List[Span]],
@@ -47,13 +70,26 @@ def spans_to_chrome(recorder: Union[SpanRecorder, List[Span]],
                           _meta(pid, _RUN_TID, "thread_name", "run")]
     for phase, tid in _PHASE_TIDS.items():
         events.append(_meta(pid, tid, "thread_name", phase))
+    seen_tracks = set()
+    body: List[Dict] = []
     for run in runs:
         for span in run.walk():
-            tid = (_RUN_TID if span.kind in ("run", "step")
-                   else _PHASE_TIDS[span.phase])
+            if span.kind == "kernel" and span.stream is not None:
+                span_pid, tid, pname = _stream_track(span)
+                if (span_pid, -1) not in seen_tracks:
+                    seen_tracks.add((span_pid, -1))
+                    events.append(_meta(span_pid, 0, "process_name", pname))
+                if (span_pid, tid) not in seen_tracks:
+                    seen_tracks.add((span_pid, tid))
+                    events.append(_meta(span_pid, tid, "thread_name",
+                                        span.stream))
+            else:
+                span_pid = pid
+                tid = (_RUN_TID if span.kind in ("run", "step")
+                       else _PHASE_TIDS[span.phase])
             event = {
                 "ph": "X",
-                "pid": pid,
+                "pid": span_pid,
                 "tid": tid,
                 "name": span.name,
                 "cat": span.phase or span.kind,
@@ -66,9 +102,12 @@ def spans_to_chrome(recorder: Union[SpanRecorder, List[Span]],
                     "flops": span.flops,
                     "bytes_moved": span.bytes_moved,
                     "memory_high_water": span.memory_high_water,
+                    "accounted": span.accounted,
                 }
-            events.append(event)
-    return events
+                if span.stream is not None:
+                    event["args"]["stream"] = span.stream
+            body.append(event)
+    return events + body
 
 
 def chrome_document(events: List[Dict]) -> Dict:

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "Perfetto)")
     run.add_argument("--label", default=None,
                      help="artifact label (default: the figure name)")
+    run.add_argument("--overlap", choices=("on", "off"), default="on",
+                     help="multi-GPU stream schedule for the --trace "
+                          "run: 'on' pipelines compute against comms "
+                          "(default), 'off' is the serial-sum ablation; "
+                          "--bench always exports both fig15 series")
 
     render = sub.add_parser("render",
                             help="print one artifact as text tables")
@@ -88,7 +93,8 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return EXIT_ERROR
     if args.trace:
-        timing, recorder = observed_fixed_rank(args.figure)
+        timing, recorder = observed_fixed_rank(
+            args.figure, overlap=(args.overlap != "off"))
         write_chrome_trace(args.trace, recorder,
                            process_name=f"simulated-gpu {args.figure}")
         print(f"[wrote {args.trace}: {sum(1 for _ in recorder.kernel_spans())} "

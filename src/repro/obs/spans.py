@@ -14,6 +14,14 @@ on a single modeled clock — the same sequential layout
 :meth:`repro.gpu.trace.TimeLine.to_chrome_trace` uses — so the span
 tree, the timeline, and the Chrome-trace export all agree on phase
 attribution and totals.
+
+Stream-scheduled work (:mod:`repro.gpu.streams`) places kernels at an
+explicit ``start`` on a named per-device ``stream`` instead of the
+sequential clock; the recorder clock then tracks the max end time (the
+critical path).  Symmetric multi-device work arrives once *accounted*
+(it feeds the per-phase counters) plus unaccounted mirror spans for
+the other devices, which appear in the tree and the Chrome trace but
+never in the totals.
 """
 
 from __future__ import annotations
@@ -42,6 +50,11 @@ class Span:
     flops: float = 0.0
     bytes_moved: float = 0.0
     memory_high_water: int = 0
+    #: Stream name for scheduler-placed kernels (None = serial clock).
+    stream: Optional[str] = None
+    #: False for mirror spans of symmetric multi-device work: they
+    #: appear in the tree/trace but not in the counters or totals.
+    accounted: bool = True
     children: List["Span"] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -67,6 +80,7 @@ class Span:
             "device_id": self.device_id, "flops": self.flops,
             "bytes_moved": self.bytes_moved,
             "memory_high_water": self.memory_high_water,
+            "stream": self.stream, "accounted": self.accounted,
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -135,33 +149,50 @@ class SpanRecorder:
     # -- kernel ingestion (called by SimulatedGPU.charge) -----------------
     def record_kernel(self, phase: str, label: str, seconds: float,
                       flops: float = 0.0, bytes_moved: float = 0.0,
-                      device_id: int = 0, memory_high_water: int = 0
-                      ) -> Span:
+                      device_id: int = 0, memory_high_water: int = 0,
+                      stream: Optional[str] = None,
+                      start: Optional[float] = None,
+                      accounted: bool = True) -> Span:
+        """Ingest one kernel charge.
+
+        Without ``start`` the kernel is laid out sequentially at the
+        current clock (the serial single-device model).  Stream-
+        scheduled kernels pass their DAG-computed ``start`` (plus the
+        ``stream`` name); the clock then advances to the max end seen,
+        i.e. the critical path.  ``accounted=False`` records a mirror
+        span (symmetric work on another device) that never touches the
+        counters, the clock, or the peak-memory aggregate.
+        """
         if phase not in PHASES:
             raise ConfigurationError(
                 f"unknown phase {phase!r}; expected one of {PHASES}")
         if seconds < 0:
             raise ConfigurationError(f"negative span duration: {seconds}")
+        if start is not None and start < 0:
+            raise ConfigurationError(f"negative span start: {start}")
+        placed = self.clock if start is None else start
         if self._run is None:
             self.begin_run()
         if self._step is None or self._step.phase != phase:
             self._close_step()
             self._step = Span(name=phase, kind="step", phase=phase,
-                              start=self.clock)
+                              start=min(self.clock, placed))
             self._run.children.append(self._step)
         kernel = Span(name=label or phase, kind="kernel", phase=phase,
-                      start=self.clock, duration=seconds,
+                      start=placed, duration=seconds,
                       device_id=device_id, flops=flops,
                       bytes_moved=bytes_moved,
-                      memory_high_water=memory_high_water)
+                      memory_high_water=memory_high_water,
+                      stream=stream, accounted=accounted)
         self._step.children.append(kernel)
-        self.clock += seconds
         self._step.flops += flops
         self._step.bytes_moved += bytes_moved
-        self.counters.setdefault(phase, PhaseCounter()).add(
-            seconds, flops, bytes_moved)
-        self.peak_memory_bytes = max(self.peak_memory_bytes,
-                                     int(memory_high_water))
+        if accounted:
+            self.clock = max(self.clock, placed + seconds)
+            self.counters.setdefault(phase, PhaseCounter()).add(
+                seconds, flops, bytes_moved)
+            self.peak_memory_bytes = max(self.peak_memory_bytes,
+                                         int(memory_high_water))
         return kernel
 
     def _close_step(self) -> None:

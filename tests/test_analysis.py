@@ -334,6 +334,58 @@ class TestRS107:
 
 
 # ---------------------------------------------------------------------------
+# RS108: multi-GPU charges via the stream scheduler
+# ---------------------------------------------------------------------------
+
+class TestRS108:
+    MGPU = "repro/gpu/multigpu.py"
+
+    def test_flags_direct_device_charge(self, tmp_path):
+        src = ("class Ex:\n"
+               "    def op(self, secs):\n"
+               "        self.device.charge('gemm_iter', secs, 'x')\n")
+        out = run_rule(tmp_path, src, rel=self.MGPU, select=["RS108"])
+        assert rules_of(out) == ["RS108"]
+        assert "stream scheduler" in out[0].message
+
+    def test_flags_any_charge_attribute(self, tmp_path):
+        src = ("def f(dev, tl):\n"
+               "    dev.charge('comms', 1.0, 'a')\n"
+               "    tl.timeline.charge('comms', 1.0, 'b')\n")
+        out = run_rule(tmp_path, src, rel=self.MGPU, select=["RS108"])
+        assert rules_of(out) == ["RS108", "RS108"]
+
+    def test_stream_submit_passes(self, tmp_path):
+        src = ("class Ex:\n"
+               "    def op(self, secs):\n"
+               "        self.streams.submit('gemm_iter', secs)\n"
+               "        self.streams.submit_group('comms', secs,\n"
+               "                                  placements=[(0, 'd2h')])\n")
+        assert run_rule(tmp_path, src, rel=self.MGPU,
+                        select=["RS108"]) == []
+
+    def test_not_enforced_elsewhere(self, tmp_path):
+        src = ("def f(dev):\n"
+               "    dev.charge('comms', 1.0, 'a')\n")
+        assert run_rule(tmp_path, src, rel="repro/gpu/device.py",
+                        select=["RS108"]) == []
+        assert run_rule(tmp_path, src, rel="repro/gpu/cluster.py",
+                        select=["RS108"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("def f(dev):\n"
+               "    dev.charge('comms', 1.0, 'a')  # repro: noqa RS108\n")
+        assert run_rule(tmp_path, src, rel=self.MGPU,
+                        select=["RS108"]) == []
+
+    def test_shipped_multigpu_is_clean(self):
+        out = analyze_paths(
+            [REPO_ROOT / "src" / "repro" / "gpu" / "multigpu.py"],
+            root=REPO_ROOT / "src", select=["RS108"])
+        assert out == []
+
+
+# ---------------------------------------------------------------------------
 # Engine: suppressions, selection, errors
 # ---------------------------------------------------------------------------
 
@@ -454,10 +506,13 @@ _VIOLATIONS = {
     "RS106": "def api():\n    pass\n",
     "RS107": ("def test_fig(benchmark):\n"
               "    benchmark.extra_info['speedup'] = 2.0\n"),
+    "RS108": ("def f(dev):\n"
+              "    dev.charge('comms', 1.0, 'x')\n"),
 }
 
 #: Rules scoped by path need their fixture at a matching location.
-_VIOLATION_PATHS = {"RS107": ("benchmarks", "bad.py")}
+_VIOLATION_PATHS = {"RS107": ("benchmarks", "bad.py"),
+                    "RS108": ("repro", "gpu", "multigpu.py")}
 
 
 class TestCLI:

@@ -89,6 +89,16 @@ class TestTimingModel:
         expect = 8 * 50_000 * 2_500
         assert all(d.memory.used == expect for d in ex.devices)
 
+    def test_memory_ragged_last_device(self):
+        """The last device of a ragged split owns the remainder block
+        and must account only its true (smaller) size."""
+        ex = MultiGPUExecutor(ng=3, seed=0)
+        ex.bind(SymArray((100, 40)))
+        # ceil(100/3) = 34 rows on devices 0-1, 100 - 2*34 = 32 on 2.
+        assert [d.memory.used for d in ex.devices] == [
+            8 * 34 * 40, 8 * 34 * 40, 8 * 32 * 40]
+        assert ex.local_rows_of(2, 100) == 32
+
     def test_faster_than_single_gpu_executor(self):
         """At the Figure 15 shape, 3 simulated GPUs must beat the
         single-GPU executor end to end."""

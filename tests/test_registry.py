@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.matrices.registry import (TABLE1_SPECS, get_matrix, list_matrices,
-                                     table1_row)
+from repro.matrices.registry import (TABLE1_SPECS, clear_matrix_cache,
+                                     get_matrix, list_matrices,
+                                     matrix_cache_info, table1_row)
 
 
 class TestRegistry:
@@ -33,6 +34,60 @@ class TestRegistry:
                                                  seed=1),
                                       get_matrix("hapmap", m=50, n=20,
                                                  seed=1))
+
+
+class TestMatrixCache:
+    def setup_method(self):
+        clear_matrix_cache()
+
+    def teardown_method(self):
+        clear_matrix_cache()
+
+    def test_repeat_request_hits_cache(self):
+        get_matrix("power", m=80, n=30, seed=3)
+        info = matrix_cache_info()
+        assert info == {"hits": 0, "misses": 1, "entries": 1}
+        get_matrix("power", m=80, n=30, seed=3)
+        assert matrix_cache_info()["hits"] == 1
+
+    def test_cache_key_includes_all_params(self):
+        get_matrix("power", m=80, n=30, seed=3)
+        get_matrix("power", m=80, n=30, seed=4)      # different seed
+        get_matrix("power", m=81, n=30, seed=3)      # different m
+        get_matrix("exponent", m=80, n=30, seed=3)   # different name
+        assert matrix_cache_info()["misses"] == 4
+        assert matrix_cache_info()["hits"] == 0
+
+    def test_cached_copy_is_isolated(self):
+        a = get_matrix("exponent", m=60, n=20, seed=0)
+        a[0, 0] = 123.0
+        b = get_matrix("exponent", m=60, n=20, seed=0)
+        assert b[0, 0] != 123.0
+
+    def test_generator_seed_bypasses_cache(self):
+        get_matrix("power", m=40, n=20,
+                   seed=np.random.default_rng(0))
+        assert matrix_cache_info() == {"hits": 0, "misses": 0,
+                                       "entries": 0}
+
+    def test_cache_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MATRIX_CACHE", "0")
+        get_matrix("power", m=40, n=20, seed=0)
+        assert matrix_cache_info()["entries"] == 0
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MATRIX_CACHE", "lots")
+        with pytest.raises(ConfigurationError):
+            get_matrix("power", m=40, n=20, seed=0)
+
+    def test_lru_eviction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MATRIX_CACHE", "2")
+        get_matrix("power", m=40, n=20, seed=0)
+        get_matrix("power", m=40, n=20, seed=1)
+        get_matrix("power", m=40, n=20, seed=2)   # evicts seed=0
+        assert matrix_cache_info()["entries"] == 2
+        get_matrix("power", m=40, n=20, seed=0)   # miss again
+        assert matrix_cache_info()["misses"] == 4
 
 
 class TestTable1Row:
