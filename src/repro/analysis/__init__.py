@@ -18,7 +18,16 @@ RS106   missing ``__all__`` / export drift
 RS107   bench series bypassing ``attach_series``
 RS108   direct ``device.charge`` in the stream-scheduled multi-GPU
         executor (``repro/gpu/multigpu.py``)
+RS109   returned ``StreamEvent`` discarded (sync dropped on the floor)
+RS110   transfer submit with empty ``deps`` and no ``after_all``
+RS111   ``submit``/``submit_group`` without ``reads=``/``writes=``
+        race-sanitizer annotations (``repro/gpu/multigpu.py``)
+RS112   ``restore()`` fed a dict that is not a ``state()`` snapshot
+RS113   stale ``# repro: noqa`` suppressing nothing
 ======  =====================================================
+
+The static concurrency lints (RS109-RS112) pair with the dynamic
+happens-before race sanitizer in :mod:`repro.analysis.races`.
 
 Run ``python -m repro.analysis src/repro`` (or ``python -m repro.cli
 analyze``); see ``docs/static_analysis.md`` for the rule reference,

@@ -17,7 +17,9 @@ A bare ``# repro: noqa`` silences every rule on that line.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
 
@@ -45,14 +47,30 @@ def parse_noqa(source: str) -> Dict[int, Optional[Set[str]]]:
     """Map 1-based line number -> suppressed rule set.
 
     ``None`` means "all rules suppressed on this line" (a bare noqa).
+
+    Only genuine ``#`` comments count: the suppression syntax quoted in
+    a docstring (as in this module's own header) is documentation, not
+    a directive.  Tokenization is the arbiter; if the source does not
+    tokenize (it can still AST-parse in edge cases), fall back to the
+    per-line regex scan.
     """
     table: Dict[int, Optional[Set[str]]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
+
+    def scan(lineno: int, text: str) -> None:
         m = _NOQA_RE.search(text)
         if not m:
-            continue
+            return
         rules = {r.upper() for r in _RULE_RE.findall(m.group("rules") or "")}
         table[lineno] = rules or None
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                scan(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        table.clear()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            scan(lineno, text)
     return table
 
 
@@ -69,6 +87,12 @@ class ModuleContext:
                 f"cannot parse {path}: {exc}") from exc
         self.noqa = parse_noqa(source)
         self.relpath = self._normalize(path, root)
+        #: Lines whose noqa actually silenced at least one finding this
+        #: run (consumed by RS113, the stale-suppression rule).
+        self.used_noqa: Set[int] = set()
+        #: Rules the driver ran over this module — RS113 only calls a
+        #: suppression stale when everything it names was exercised.
+        self.rules_run: Set[str] = set()
 
     @staticmethod
     def _normalize(path: Path, root: Optional[Path]) -> str:
@@ -86,7 +110,10 @@ class ModuleContext:
         if line not in self.noqa:
             return False
         rules = self.noqa[line]
-        return rules is None or rule.upper() in rules
+        hit = rules is None or rule.upper() in rules
+        if hit:
+            self.used_noqa.add(line)
+        return hit
 
 
 def _decorator_name(node: ast.expr) -> str:
@@ -233,10 +260,14 @@ def analyze_paths(paths: Sequence[Path],
     """
     registry = all_rules()
     wanted = _resolve_rules(registry, select, ignore)
+    # The stale-suppression rule judges what every *other* rule left
+    # unused, so it must see their suppression hits first.
+    wanted.sort(key=lambda r: r == "RS113")
     findings: List[AnalysisFinding] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
         ctx = ModuleContext(path, source, root=root)
+        ctx.rules_run = set(wanted)
         for rule in wanted:
             findings.extend(registry[rule](ctx).run())
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))

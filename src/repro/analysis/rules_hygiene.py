@@ -1,5 +1,5 @@
 """Repo-hygiene rules: RS104 error-taxonomy, RS105 nondeterministic-rng,
-RS106 missing-``__all__`` / export drift.
+RS106 missing-``__all__`` / export drift, RS113 stale suppressions.
 """
 
 from __future__ import annotations
@@ -7,11 +7,12 @@ from __future__ import annotations
 import ast
 from typing import List, Optional, Set
 
-from .engine import BaseChecker, register
+from .engine import BaseChecker, all_rules, register
+from .findings import AnalysisFinding
 from .rules_executor import dotted_name
 
 __all__ = ["ErrorTaxonomyChecker", "NondeterministicRngChecker",
-           "ExportDriftChecker"]
+           "ExportDriftChecker", "StaleSuppressionChecker"]
 
 
 @register
@@ -212,3 +213,52 @@ class ExportDriftChecker(BaseChecker):
                                 bound.add((alias.asname
                                            or alias.name).split(".")[0])
         return bound
+
+
+@register
+class StaleSuppressionChecker(BaseChecker):
+    """RS113: a ``# repro: noqa`` that no longer suppresses anything.
+
+    Suppressions are accepted exceptions; once the code they excused is
+    gone, the leftover comment silently re-arms a blanket waiver for
+    whatever lands on that line next.  This rule runs after every other
+    selected rule (the engine orders it last) and flags noqa lines that
+    silenced no finding — but only when every rule the comment names
+    actually ran, so a partial ``--select`` can't produce false
+    staleness.  A bare noqa needs the full rule set to have run.
+
+    Because a bare noqa would suppress RS113 itself, findings here are
+    reported directly rather than through :meth:`BaseChecker.emit`; an
+    explicit ``RS113`` in the comment's rule list is the opt-out.
+    """
+
+    rule = "RS113"
+    summary = ("stale '# repro: noqa' — the suppression no longer "
+               "silences any finding")
+
+    def run(self) -> List[AnalysisFinding]:
+        everything = set(all_rules()) - {self.rule}
+        for line in sorted(self.ctx.noqa):
+            if line in self.ctx.used_noqa:
+                continue
+            rules = self.ctx.noqa[line]
+            named = everything if rules is None else {
+                r for r in rules if r != self.rule}
+            if rules is not None and self.rule in rules:
+                continue       # explicit RS113 opt-out
+            if not named or not named <= self.ctx.rules_run:
+                continue       # can't judge: rules not exercised
+            what = ("bare noqa" if rules is None
+                    else "noqa " + ", ".join(sorted(rules)))
+            # Direct append: emit() would let the very suppression under
+            # judgment silence its own staleness report.
+            self.findings.append(AnalysisFinding(
+                rule=self.rule,
+                path=self.ctx.relpath,
+                line=line,
+                col=0,
+                message=f"stale suppression: this {what} silenced no "
+                        "finding in this run; delete the comment (or "
+                        "add RS113 to keep it deliberately)",
+                context="<module>"))
+        return self.findings

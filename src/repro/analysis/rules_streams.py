@@ -1,28 +1,96 @@
-"""Stream-scheduler rule: RS108 multi-GPU charges go through streams.
+"""Stream-scheduler rules: RS108 plus the RS109–RS112 concurrency lints.
 
 The multi-GPU executor's modeled elapsed time is the critical path
-through the :class:`repro.gpu.streams.StreamScheduler` DAG.  A direct
-``device.charge(...)`` inside ``repro/gpu/multigpu.py`` charges the
-timeline *without* advancing the scheduler frontier, so the charged
-seconds silently vanish from ``MultiGPUExecutor.seconds`` — phase sums
-and elapsed time disagree and the Figure 15 ablation is corrupted.
-Every charge in that module must be submitted via the stream API
-(``self.streams.submit`` / ``submit_group`` or the ``_charge_*``
-helpers that wrap them).
+through the :class:`repro.gpu.streams.StreamScheduler` DAG, so the
+hazards of a real stream runtime apply: a dropped event or a transfer
+submitted with no ordering doesn't crash — it silently shifts the
+critical path and corrupts the Figure 15 numbers.  RS108 keeps all
+charging on the stream API; RS109–RS111 catch dropped syncs, unordered
+transfers, and missing race-sanitizer annotations *before* a run;
+RS112 schema-checks ``restore()`` call sites.  The dynamic complement
+is :mod:`repro.analysis.races` (see docs/static_analysis.md, "Race
+sanitizer").
+
+RS109/RS110/RS112 apply to any module that imports
+:mod:`repro.gpu.streams` (the fingerprint of code driving the
+scheduler); RS111 is scoped to ``repro/gpu/multigpu.py``, the one
+module whose annotations the fig15 race check depends on.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Tuple
+from typing import Optional, Tuple
 
-from .engine import BaseChecker, register
+from .engine import BaseChecker, ModuleContext, register
 
-__all__ = ["StreamChargeChecker", "STREAM_SCOPES"]
+__all__ = ["StreamChargeChecker", "DroppedEventChecker",
+           "UnorderedTransferChecker", "MissingAccessChecker",
+           "RestoreSchemaChecker", "STREAM_SCOPES", "TRANSFER_STREAMS",
+           "STATE_KEYS"]
 
-#: Path fragments (posix) where RS108 is enforced: the executors whose
-#: clock is the stream scheduler's critical path.
+#: Path fragments (posix) where RS108/RS111 are enforced: the executors
+#: whose clock is the stream scheduler's critical path.
 STREAM_SCOPES: Tuple[str, ...] = ("repro/gpu/multigpu.py",)
+
+#: Stream names whose submissions move data: these are exactly the
+#: submissions whose ordering a missing edge silently breaks.
+TRANSFER_STREAMS = ("comms", "h2d", "d2h", "pcie")
+
+#: Keys a :meth:`StreamScheduler.state` snapshot always carries —
+#: what RS112 demands of dict literals fed to ``restore()``.
+STATE_KEYS = frozenset({"ready", "busy", "frontier", "submissions"})
+
+
+def _imports_streams(ctx: ModuleContext) -> bool:
+    """True when the module imports :mod:`repro.gpu.streams` (by module
+    or by name) — the scope gate for the concurrency lints, so an
+    unrelated ``executor.submit`` (e.g. concurrent.futures) is never
+    flagged."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod == "streams" or mod.endswith(".streams"):
+                return True
+            if any(alias.name in ("StreamScheduler", "StreamEvent")
+                   for alias in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(alias.name.endswith(".streams")
+                   for alias in node.names):
+                return True
+    return False
+
+
+def _is_submit_call(node: ast.Call) -> Optional[str]:
+    """``"submit"``/``"submit_group"`` when ``node`` is a method call on
+    a stream scheduler-ish receiver, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in ("submit",
+                                                         "submit_group"):
+        return func.attr
+    return None
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_empty_literal(node: Optional[ast.expr]) -> bool:
+    """True for an absent keyword or a literal ``()``/``[]``/``False``/
+    ``None`` — the shapes that pin "no ordering was requested" down
+    statically.  Any dynamic expression is given the benefit of the
+    doubt."""
+    if node is None:
+        return True
+    if isinstance(node, (ast.Tuple, ast.List)) and not node.elts:
+        return True
+    if isinstance(node, ast.Constant) and not node.value:
+        return True
+    return False
 
 
 @register
@@ -53,3 +121,168 @@ class StreamChargeChecker(BaseChecker):
                             "scheduler; submit via self.streams so the "
                             "critical-path clock sees this work")
         self.generic_visit(node)
+
+
+@register
+class DroppedEventChecker(BaseChecker):
+    """RS109: a returned ``StreamEvent`` dropped on the floor.
+
+    A bare-statement ``submit``/``submit_group`` that asks for no
+    ordering (``deps``/``after_all`` absent) discards the only handle
+    later work could synchronize on — the static shape of a dropped
+    sync.  A bare ``barrier()`` statement is flagged unconditionally:
+    it computes a join event and throws it away, a pure no-op.
+    Submissions that pass ``deps=`` or ``after_all=`` are already
+    ordered, so discarding their event is fine.
+    """
+
+    rule = "RS109"
+    summary = ("StreamEvent discarded: bare submit with no deps/after_all "
+               "(or a bare barrier()) drops the sync handle")
+
+    def run(self):
+        if not _imports_streams(self.ctx):
+            return self.findings
+        return super().run()
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr == "barrier" \
+                    and not call.args and not call.keywords:
+                self.emit(node, "barrier() event discarded: the join "
+                                "only exists through its StreamEvent; "
+                                "keep it and pass it via deps=")
+            elif _is_submit_call(call) is not None \
+                    and _keyword(call, "deps") is None \
+                    and _keyword(call, "after_all") is None:
+                self.emit(node, f"StreamEvent of {_is_submit_call(call)}() "
+                                "discarded and no deps=/after_all= given; "
+                                "nothing can ever order work after this "
+                                "submission — keep the event or declare "
+                                "the ordering")
+        self.generic_visit(node)
+
+
+@register
+class UnorderedTransferChecker(BaseChecker):
+    """RS110: a transfer submitted with no ordering at all.
+
+    A ``submit`` onto a comms/h2d/d2h stream with an empty ``deps`` and
+    no ``after_all`` starts the copy the moment the copy engine is
+    free — almost always before its producer finished.  The dynamic
+    sanitizer reports this as a race at run time; this rule catches the
+    shape at review time.
+    """
+
+    rule = "RS110"
+    summary = ("transfer submit (comms/h2d/d2h) with empty deps and no "
+               "after_all: the copy is ordered by nothing")
+
+    def run(self):
+        if not _imports_streams(self.ctx):
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_submit_call(node) == "submit":
+            stream = _keyword(node, "stream")
+            phase = node.args[0] if node.args else None
+            on_transfer = (
+                isinstance(stream, ast.Constant)
+                and stream.value in TRANSFER_STREAMS) or (
+                stream is None
+                and isinstance(phase, ast.Constant)
+                and phase.value == "comms")
+            if on_transfer \
+                    and _is_empty_literal(_keyword(node, "deps")) \
+                    and _is_empty_literal(_keyword(node, "after_all")):
+                self.emit(node, "transfer submitted with no deps= and no "
+                                "after_all=: it starts whenever the copy "
+                                "engine is free, racing its producer; "
+                                "pass the producer's StreamEvent")
+        self.generic_visit(node)
+
+
+@register
+class MissingAccessChecker(BaseChecker):
+    """RS111: multi-GPU submissions must declare ``reads=``/``writes=``.
+
+    The fig15 race check is only as good as the buffer annotations; a
+    submission without them is invisible to the happens-before
+    sanitizer, so a missing edge through it can never be detected.
+    Enforced in ``repro/gpu/multigpu.py`` (the annotated executor);
+    helpers forwarding ``reads=reads``/``writes=writes`` count.
+    """
+
+    rule = "RS111"
+    summary = ("submit/submit_group in multigpu.py without reads=/writes= "
+               "buffer declarations (invisible to the race sanitizer)")
+
+    def run(self):
+        if not any(scope in self.ctx.relpath for scope in STREAM_SCOPES):
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        kind = _is_submit_call(node)
+        if kind is not None \
+                and _keyword(node, "reads") is None \
+                and _keyword(node, "writes") is None:
+            self.emit(node, f"{kind}() declares no reads=/writes= "
+                            "buffers: the race sanitizer cannot see "
+                            "this submission's accesses; name the "
+                            "logical buffers it touches")
+        self.generic_visit(node)
+
+
+@register
+class RestoreSchemaChecker(BaseChecker):
+    """RS112: ``restore()`` fed something that is not a ``state()``
+    snapshot.
+
+    The replay contract is ``sched.restore(sched.state())`` (possibly
+    through JSON).  At call sites this rule pins down the statically
+    checkable shapes: a dict literal must carry every snapshot key
+    (``ready``/``busy``/``frontier``/``submissions``), and a literal
+    non-dict argument (or wrong arity) is always wrong.  Variables and
+    other dynamic expressions pass — the scheduler still validates at
+    run time.
+    """
+
+    rule = "RS112"
+    summary = ("restore() argument is not a state() snapshot (dict "
+               "literal missing snapshot keys, or non-dict literal)")
+
+    def run(self):
+        if not _imports_streams(self.ctx):
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "restore":
+            self._check_restore(node)
+        self.generic_visit(node)
+
+    def _check_restore(self, node: ast.Call) -> None:
+        if len(node.args) != 1 or node.keywords:
+            self.emit(node, "restore() takes exactly one positional "
+                            "argument: a state() snapshot dict")
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Dict):
+            keys = {k.value for k in arg.keys
+                    if isinstance(k, ast.Constant)}
+            missing = STATE_KEYS - keys
+            if None in arg.keys:       # ** splat: can't tell, pass
+                return
+            if missing:
+                self.emit(node, "restore() dict literal is missing "
+                                f"snapshot key(s) {sorted(missing)}; "
+                                "only state() output (or its JSON "
+                                "round-trip) is a valid snapshot")
+        elif isinstance(arg, ast.Constant):
+            self.emit(node, f"restore() fed a {type(arg.value).__name__} "
+                            "literal; it needs a state() snapshot dict")

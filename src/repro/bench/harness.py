@@ -71,7 +71,8 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
                      spec: GPUSpec = KEPLER_K40C,
                      seed: int = 0,
                      recorder: Optional[SpanRecorder] = None,
-                     overlap: bool = True
+                     overlap: bool = True,
+                     race_check: bool = False
                      ) -> FixedRankTiming:
     """Run the fixed-rank algorithm symbolically on the simulated
     device(s) and return the modeled phase breakdown.
@@ -83,6 +84,12 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
     the multi-GPU stream schedule: ``True`` pipelines compute against
     communication (the paper's runtime), ``False`` is the serial-sum
     ablation; phase breakdowns are identical either way.
+
+    ``race_check=True`` (multi-GPU runs only) attaches a happens-before
+    :class:`repro.analysis.races.RaceChecker` to the stream scheduler
+    in collecting mode; detected races land in ``recorder.races`` and
+    the full report in ``recorder.race_report``.  Observation-only:
+    modeled totals are unchanged.
     """
     if ng == 1:
         ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed)
@@ -90,11 +97,23 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
         ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed, overlap=overlap)
     rec = recorder if recorder is not None else SpanRecorder()
     ex.attach_recorder(rec)
+    checker = None
+    if race_check and hasattr(ex, "streams"):
+        from ..analysis.races import RaceChecker
+        checker = RaceChecker()
+        ex.streams.attach_race_checker(checker)
     cfg = SamplingConfig(rank=k, oversampling=p, power_iterations=q,
                          sampler=sampler, seed=seed)
     run_name = f"fixed-rank m={m} n={n} k={k} q={q} ng={ng}"
     with rec.run_span(run_name):
         res = random_sampling(SymArray((m, n)), cfg, executor=ex)
+    if checker is not None:
+        rec.race_report = checker.report()
+    elif race_check:
+        rec.race_report = {"version": 1, "race_count": 0, "races": [],
+                           "submissions": 0, "buffers": [], "lanes": [],
+                           "note": "single-device run: no stream "
+                                   "scheduler, nothing to race"}
     return FixedRankTiming(m=m, n=n, k=k, sample_size=cfg.sample_size, q=q,
                            ng=ng, total=res.seconds,
                            breakdown={ph: s for ph, s in res.breakdown.items()

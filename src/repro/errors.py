@@ -18,6 +18,7 @@ __all__ = [
     "SymbolicExecutionError",
     "ConfigurationError",
     "StaticAnalysisError",
+    "RaceError",
 ]
 
 
@@ -78,6 +79,21 @@ class SymbolicExecutionError(DeviceError):
     data; any kernel that must inspect actual values (e.g. a pivot
     search driven by data) raises this when executed symbolically.
     """
+
+
+class RaceError(DeviceError):
+    """The happens-before sanitizer found a data race in a stream schedule.
+
+    Two submissions on different ``(device, stream)`` lanes access the
+    same logical buffer, at least one of them writing, and no event
+    edge (``deps=``/``after_all``/``barrier()``) orders them.  Carries
+    the detected :class:`repro.analysis.races.Race` records so callers
+    can render the full report.
+    """
+
+    def __init__(self, message: str, races=None):
+        super().__init__(message)
+        self.races = list(races) if races is not None else []
 
 
 class ConfigurationError(ReproError, ValueError):

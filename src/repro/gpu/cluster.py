@@ -87,20 +87,27 @@ class ClusterExecutor(MultiGPUExecutor):
     # -- two-tier reductions ---------------------------------------------
     def _reduce_b(self, l: int, n: int) -> None:
         """Intra-node PCIe gather, then inter-node allreduce."""
+        chunks = len(self._chunk_events or ())
+        self._chunk_events = None
         nbytes = 8 * l * n
         pcie = self.device.transfers.reduce_seconds(nbytes,
                                                     self.gpus_per_node)
         net = self.network.allreduce_seconds(nbytes, self.nodes)
-        self._charge_comm(pcie, f"node reduce B {l}x{n}")
+        self._charge_comm(pcie, f"node reduce B {l}x{n}",
+                          reads=[f"B_chunk[{j}]" for j in range(chunks)],
+                          writes=["B_node"])
         if net > 0:
-            self._charge_comm(net, f"allreduce B {l}x{n} x{self.nodes}")
+            self._charge_comm(net, f"allreduce B {l}x{n} x{self.nodes}",
+                              reads=["B_node"], writes=["B_node"])
         if self.ng > 1:
             self._charge_all("comms",
                              self.cpu.gemm_seconds(
                                  (self.gpus_per_node - 1 + 1) * l * n),
-                             label="cpu accumulate")
+                             label="cpu accumulate",
+                             reads=["B_node"], writes=["B"])
 
-    def _broadcast(self, l: int, n: int, label: str) -> None:
+    def _broadcast(self, l: int, n: int, label: str,
+                   src: str = "B") -> None:
         nbytes = 8 * l * n
         net = 0.0
         if self.nodes > 1:
@@ -108,7 +115,9 @@ class ClusterExecutor(MultiGPUExecutor):
             net = stages * self.network.ptp_seconds(nbytes)
         pcie = self.device.transfers.broadcast_seconds(nbytes,
                                                        self.gpus_per_node)
-        self._charge_comm(net + pcie, label)
+        self._charge_comm(net + pcie, label, reads=[src],
+                          writes=[f"{src}@g{d}"
+                                  for d in range(self.ng)])
 
     def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
                 phase: str) -> None:
@@ -121,7 +130,8 @@ class ClusterExecutor(MultiGPUExecutor):
             net = passes * (self.network.allreduce_seconds(
                 8 * small * small, self.nodes))
             if net > 0:
-                self._charge_comm(net, "cholqr gram allreduce")
+                self._charge_comm(net, "cholqr gram allreduce",
+                                  reads=["R_bar"], writes=["R_bar"])
 
 
 def cluster_qp3_seconds(m: int, n: int, k: int, nodes: int,

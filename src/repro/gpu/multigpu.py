@@ -32,11 +32,18 @@ the superlinear GEMM scaling of Figure 15 (the local panels get
 shorter, so the per-device GEMM rate rises).
 
 All charging goes through the stream API; ``device.charge`` must not
-be called directly here (analyzer rule RS108).
+be called directly here (analyzer rule RS108), and every submission
+declares the logical buffers it touches via ``reads=``/``writes=``
+(analyzer rule RS111) so the happens-before race sanitizer
+(:mod:`repro.analysis.races`) can verify the event DAG orders every
+conflicting access.  Setting ``REPRO_RACE_CHECK=1`` attaches the
+sanitizer in raising mode; it is observation-only, so modeled totals
+are identical with it on or off.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -105,6 +112,9 @@ class MultiGPUExecutor(GPUExecutor):
         self.streams = StreamScheduler(ng=ng, overlap=self.overlap,
                                        timeline=self.device.timeline)
         self.streams.memory_probe = self._memory_high_water
+        if os.environ.get("REPRO_RACE_CHECK", "") not in ("", "0", "false"):
+            from ..analysis.races import RaceChecker
+            self.streams.attach_race_checker(RaceChecker(raise_on_race=True))
         self._dist_cols: Optional[int] = None  # = m once bound
         #: Per-chunk completion events of the last pipelined local GEMM
         #: (consumed by `_reduce_b` to overlap the gather).
@@ -160,30 +170,40 @@ class MultiGPUExecutor(GPUExecutor):
         return [(d, "compute") for d in range(self.ng)]
 
     def _charge_all(self, phase: str, seconds: float, label: str,
-                    flops: float = 0.0, bytes_moved: float = 0.0) -> None:
+                    flops: float = 0.0, bytes_moved: float = 0.0,
+                    reads: Sequence[str] = (),
+                    writes: Sequence[str] = ()) -> None:
         """Charge symmetric parallel work (counted once: max = local),
         joined after everything in flight."""
         self.streams.submit_group(phase, seconds,
                                   placements=self._all_compute(),
                                   after_all=True, label=label,
-                                  flops=flops, bytes_moved=bytes_moved)
+                                  flops=flops, bytes_moved=bytes_moved,
+                                  reads=reads, writes=writes)
 
     def _charge_comm(self, seconds: float, label: str,
-                     bytes_moved: float = 0.0) -> None:
+                     bytes_moved: float = 0.0,
+                     reads: Sequence[str] = (),
+                     writes: Sequence[str] = ()) -> None:
         """One serialized transfer through the shared PCIe lane."""
         self.streams.submit("comms", seconds, device=0, stream="d2h",
                             resources=[(HOST, "pcie")], after_all=True,
-                            label=label, bytes_moved=bytes_moved)
+                            label=label, bytes_moved=bytes_moved,
+                            reads=reads, writes=writes)
 
     def _chunks(self) -> int:
         return self.pipeline_chunks if self.overlap else 1
 
     def _local_gemm(self, phase: str, seconds: float, label: str,
-                    flops: float, bytes_moved: float) -> None:
+                    flops: float, bytes_moved: float,
+                    reads: Sequence[str] = ()) -> None:
         """Pipelined symmetric local GEMM: split into chunks so the
         per-chunk gather of a following reduction can overlap the next
         chunk's compute.  Chunk completion events are parked in
-        ``_chunk_events`` for :meth:`_reduce_b`."""
+        ``_chunk_events`` for :meth:`_reduce_b`; chunk ``j`` writes the
+        logical buffer ``B_chunk[j]`` that the matching gather leg
+        reads, which is exactly the edge the race sanitizer verifies.
+        """
         chunks = self._chunks()
         self._chunk_events = []
         for j in range(chunks):
@@ -193,7 +213,8 @@ class MultiGPUExecutor(GPUExecutor):
                 after_all=(j == 0),
                 label=(label if chunks == 1
                        else f"{label} c{j + 1}/{chunks}"),
-                flops=flops / chunks, bytes_moved=bytes_moved / chunks)
+                flops=flops / chunks, bytes_moved=bytes_moved / chunks,
+                reads=reads, writes=[f"B_chunk[{j}]"])
             self._chunk_events.append(ev)
 
     # ------------------------------------------------------------------
@@ -205,7 +226,8 @@ class MultiGPUExecutor(GPUExecutor):
         c = self.local_rows(cols) if self._dist_cols == cols else cols
         self._charge_all("prng", self.kernels.curand_seconds(rows * c),
                          label=f"curand {rows}x{c} (local)",
-                         flops=float(rows * c), bytes_moved=8.0 * rows * c)
+                         flops=float(rows * c), bytes_moved=8.0 * rows * c,
+                         writes=["Omega"])
         if symbolic:
             return SymArray((rows, cols))
         return self.rng.standard_normal((rows, cols))
@@ -222,7 +244,8 @@ class MultiGPUExecutor(GPUExecutor):
         self._local_gemm("sampling", self.kernels.gemm_seconds(l, n, c),
                          label=f"gemm {l}x{n}x{c} (local)", flops=flops,
                          bytes_moved=_words_bytes(flops, l * c, c * n,
-                                                  l * n))
+                                                  l * n),
+                         reads=["Omega", "A"])
         self._reduce_b(l, n)
         return _mm(omega, a)
 
@@ -247,22 +270,31 @@ class MultiGPUExecutor(GPUExecutor):
                     "comms", per_leg, device=d, stream="d2h",
                     resources=[(HOST, "pcie")], deps=[ev],
                     label=f"reduce B {l}x{n} x{self.ng}",
-                    bytes_moved=8.0 * l * n / chunks)
+                    bytes_moved=8.0 * l * n / chunks,
+                    reads=[f"B_chunk[{j}]"],
+                    writes=[f"B_host[{j},g{d}]"])
         # CPU accumulation: (ng - 1) adds of l*n.
         if self.ng > 1:
             self.streams.submit(
                 "comms", self.cpu.gemm_seconds((self.ng - 1) * l * n),
                 device=HOST, stream="cpu", after_all=True,
                 label="cpu accumulate",
-                flops=float((self.ng - 1) * l * n))
+                flops=float((self.ng - 1) * l * n),
+                reads=[f"B_host[{j},g{d}]"
+                       for j in range(chunks) for d in range(self.ng)],
+                writes=["B"])
 
-    def _broadcast(self, l: int, n: int, label: str) -> None:
+    def _broadcast(self, l: int, n: int, label: str,
+                   src: str = "B") -> None:
+        """Host-to-every-device broadcast of the replicated ``src``
+        buffer; each leg writes the device-local replica ``src@g{d}``."""
         total = self.device.transfers.broadcast_seconds(8 * l * n, self.ng)
         for d in range(self.ng):
             self.streams.submit("comms", total / self.ng, device=d,
                                 stream="h2d", resources=[(HOST, "pcie")],
                                 after_all=(d == 0), label=label,
-                                bytes_moved=8.0 * l * n)
+                                bytes_moved=8.0 * l * n,
+                                reads=[src], writes=[f"{src}@g{d}"])
 
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``C_(i) = B A_(i)^T`` locally; C stays distributed."""
@@ -277,7 +309,9 @@ class MultiGPUExecutor(GPUExecutor):
                          self.kernels.gemm_seconds(l, c, n, efficiency=eff),
                          label=f"gemm {l}x{c}x{n} (local)", flops=flops,
                          bytes_moved=_words_bytes(flops, l * n, c * n,
-                                                  l * c))
+                                                  l * c),
+                         reads=[f"B@g{d}" for d in range(self.ng)] + ["A"],
+                         writes=["C"])
         return _mm(b, a.T)
 
     def iter_gemm_a(self, c_mat: ArrayLike, a: ArrayLike) -> ArrayLike:
@@ -293,7 +327,8 @@ class MultiGPUExecutor(GPUExecutor):
                          self.kernels.gemm_seconds(l, n, c, efficiency=eff),
                          label=f"gemm {l}x{n}x{c} (local)", flops=flops,
                          bytes_moved=_words_bytes(flops, l * c, c * n,
-                                                  l * n))
+                                                  l * n),
+                         reads=["C", "A"])
         self._reduce_b(l, n)
         return _mm(c_mat, a)
 
@@ -317,8 +352,9 @@ class MultiGPUExecutor(GPUExecutor):
                             device=HOST, stream="cpu", after_all=True,
                             label=f"cpu-{scheme} {rows}x{cols}",
                             flops=flops,
-                            bytes_moved=8.0 * rows * cols * passes)
-        self._broadcast(rows, cols, "broadcast Q_B")
+                            bytes_moved=8.0 * rows * cols * passes,
+                            reads=["B"], writes=["B"])
+        self._broadcast(rows, cols, "broadcast Q_B", src="B")
 
     def _distributed_cholqr(self, rows: int, cols: int, passes: int,
                             phase: str) -> None:
@@ -347,33 +383,47 @@ class MultiGPUExecutor(GPUExecutor):
         flops_each = flops / (passes * 3)
         bytes_each = bytes_moved / (passes * 3)
         label = f"mgpu-cholqr {rows}x{cols}"
+        # Logical buffer names for the sanitizer: the factored panel
+        # ("C" in the iteration, "Q_panel" in Step 3's tall-skinny QR),
+        # the two partial-Gram SYRK buffers, the host-side Gram legs,
+        # and the replicated Cholesky factor R_bar.
+        panel = "Q_panel" if phase == "qr" else "C"
         for _ in range(passes):
             buffers = []
             for b in range(2):
                 buffers.append(self.streams.submit_group(
                     phase, syrk / 2, placements=self._all_compute(),
                     after_all=(b == 0), label=f"{label} syrk b{b + 1}/2",
-                    flops=flops_each, bytes_moved=bytes_each))
+                    flops=flops_each, bytes_moved=bytes_each,
+                    reads=[panel], writes=[f"G_part[{b}]"]))
             for b, ev in enumerate(buffers):
                 for d in range(self.ng):
                     self.streams.submit(
                         "comms", reduce_t / (2 * self.ng), device=d,
                         stream="d2h", resources=[(HOST, "pcie")],
                         deps=[ev], label="cholqr gram/factor",
-                        bytes_moved=8.0 * small * small)
-            potrf = self.streams.submit(phase, cpu, device=HOST,
-                                        stream="cpu", after_all=True,
-                                        label=f"cpu-potrf {small}")
+                        bytes_moved=8.0 * small * small,
+                        reads=[f"G_part[{b}]"],
+                        writes=[f"G[{b},g{d}]"])
+            potrf = self.streams.submit(
+                phase, cpu, device=HOST, stream="cpu", after_all=True,
+                label=f"cpu-potrf {small}",
+                reads=[f"G[{b},g{d}]" for b in range(2)
+                       for d in range(self.ng)],
+                writes=["R_bar"])
             for d in range(self.ng):
                 self.streams.submit(
                     "comms", bcast_t / self.ng, device=d, stream="h2d",
                     resources=[(HOST, "pcie")], deps=[potrf],
                     label="cholqr gram/factor",
-                    bytes_moved=8.0 * small * small)
+                    bytes_moved=8.0 * small * small,
+                    reads=["R_bar"], writes=[f"R_bar@g{d}"])
             self.streams.submit_group(
                 phase, trsm, placements=self._all_compute(),
                 after_all=True, label=f"{label} trsm",
-                flops=flops_each, bytes_moved=bytes_each)
+                flops=flops_each, bytes_moved=bytes_each,
+                reads=[panel] + [f"R_bar@g{d}" for d in range(self.ng)],
+                writes=[panel])
 
     def _t_qrcp(self, m: int, n: int, k: int) -> None:
         from .kernels import qp3_flops
@@ -383,12 +433,14 @@ class MultiGPUExecutor(GPUExecutor):
             "comms", self.device.transfers.seconds(8 * m * n),
             device=0, stream="h2d", resources=[(HOST, "pcie")],
             after_all=True, label="h2d B for QP3",
-            bytes_moved=8.0 * m * n)
+            bytes_moved=8.0 * m * n,
+            reads=["B"], writes=["B@g0"])
         flops = qp3_flops(m, n, k)
         self.streams.submit("qrcp", self.kernels.qp3_seconds(m, n, k),
                             device=0, stream="compute", deps=[h2d],
                             label=f"qp3 {m}x{n} k={k}", flops=flops,
-                            bytes_moved=8.0 * (flops / 2.0 + m * n))
+                            bytes_moved=8.0 * (flops / 2.0 + m * n),
+                            reads=["B@g0"], writes=["B_qrcp"])
 
     def _t_copy(self, nbytes: int, phase: str) -> None:
         # Column gather happens locally on each device (rows split).
@@ -396,7 +448,8 @@ class MultiGPUExecutor(GPUExecutor):
         secs = (2 * local / (self.device.spec.mem_bw_gbs * 1e9)
                 + self.device.spec.kernel_launch_s)
         self._charge_all(phase, secs, label=f"copy {local}B (local)",
-                         bytes_moved=2.0 * local)
+                         bytes_moved=2.0 * local,
+                         reads=["A"], writes=["Q_panel"])
 
     def _t_block_orth(self, prev: int, new: int, length: int,
                       reorth: bool, phase: str) -> None:
@@ -409,7 +462,8 @@ class MultiGPUExecutor(GPUExecutor):
                 phase, secs, placements=self._all_compute(),
                 after_all=True, label=f"borth {prev}+{new} (local)",
                 flops=flops,
-                bytes_moved=_words_bytes(flops, (prev + new) * c))
+                bytes_moved=_words_bytes(flops, (prev + new) * c),
+                reads=["Q_panel"], writes=["Q_panel"])
             # The small coefficient blocks travel through the host.
             comm = self.device.transfers.reduce_seconds(
                 8 * prev * new, self.ng) * (2 if reorth else 1)
@@ -418,7 +472,8 @@ class MultiGPUExecutor(GPUExecutor):
                     "comms", comm / self.ng, device=d, stream="d2h",
                     resources=[(HOST, "pcie")], deps=[ev],
                     label="borth coeffs",
-                    bytes_moved=8.0 * prev * new * (2 if reorth else 1))
+                    bytes_moved=8.0 * prev * new * (2 if reorth else 1),
+                    reads=["Q_panel"], writes=[f"borth_coeffs@g{d}"])
         else:
             # Replicated B: block-orth on the CPU alongside its QR.
             flops = 4.0 * prev * new * length * (2 if reorth else 1)
@@ -426,11 +481,13 @@ class MultiGPUExecutor(GPUExecutor):
                                 device=HOST, stream="cpu", after_all=True,
                                 label=f"cpu-borth {prev}+{new}x{length}",
                                 flops=flops,
-                                bytes_moved=8.0 * (prev + new) * length)
+                                bytes_moved=8.0 * (prev + new) * length,
+                                reads=["B"], writes=["B"])
 
     # -- inherited single-device hooks rerouted through the scheduler ----
     # (these ops have no distributed decomposition; they run on device 0
-    # after a global join, so the critical path still covers them)
+    # after a global join, so the critical path still covers them; their
+    # shared "dev0_panel" buffer is ordered by the after_all joins)
     def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None:
         from .device import _words_bytes
         from .kernels import gemm_flops
@@ -441,13 +498,15 @@ class MultiGPUExecutor(GPUExecutor):
                             after_all=True, label=f"gemm {m}x{n}x{k}",
                             flops=flops,
                             bytes_moved=_words_bytes(flops, m * k, k * n,
-                                                     m * n))
+                                                     m * n),
+                            reads=["dev0_panel"], writes=["dev0_panel"])
 
     def _t_prng(self, count: int) -> None:
         self.streams.submit("prng", self.kernels.curand_seconds(count),
                             device=0, stream="compute", after_all=True,
                             label=f"curand {count}", flops=float(count),
-                            bytes_moved=8.0 * count)
+                            bytes_moved=8.0 * count,
+                            writes=["dev0_panel"])
 
     def _t_fft(self, m: int, n: int, axis: str) -> None:
         from .device import _words_bytes
@@ -458,7 +517,8 @@ class MultiGPUExecutor(GPUExecutor):
                             self.kernels.fft_sampling_seconds(m, n, axis),
                             device=0, stream="compute", after_all=True,
                             label=f"fft {m}x{n} {axis}", flops=flops,
-                            bytes_moved=_words_bytes(flops, m * n))
+                            bytes_moved=_words_bytes(flops, m * n),
+                            reads=["dev0_panel"], writes=["dev0_panel"])
 
     def _t_trsolve(self, rows: int, cols: int, phase: str) -> None:
         from .device import _words_bytes
@@ -467,7 +527,8 @@ class MultiGPUExecutor(GPUExecutor):
         self.streams.submit(phase, self.kernels.trsm_seconds(rows, cols),
                             device=0, stream="compute", after_all=True,
                             label=f"trsm {rows}x{cols}", flops=flops,
-                            bytes_moved=_words_bytes(flops, rows * cols))
+                            bytes_moved=_words_bytes(flops, rows * cols),
+                            reads=["dev0_panel"], writes=["dev0_panel"])
 
     def _t_svd(self, m: int, n: int, phase: str) -> None:
         from .device import _words_bytes
@@ -476,7 +537,8 @@ class MultiGPUExecutor(GPUExecutor):
         self.streams.submit(phase, self.kernels.svd_small_seconds(m, n),
                             device=0, stream="compute", after_all=True,
                             label=f"gesvd {m}x{n}", flops=flops,
-                            bytes_moved=_words_bytes(flops, m * n))
+                            bytes_moved=_words_bytes(flops, m * n),
+                            reads=["dev0_panel"], writes=["dev0_panel"])
 
     def _t_rownorms(self, rows: int, cols: int, phase: str) -> None:
         flops = 2.0 * rows * cols
@@ -484,7 +546,8 @@ class MultiGPUExecutor(GPUExecutor):
                             self.kernels.row_norms_seconds(rows, cols),
                             device=0, stream="compute", after_all=True,
                             label=f"rownorms {rows}x{cols}", flops=flops,
-                            bytes_moved=8.0 * rows * cols)
+                            bytes_moved=8.0 * rows * cols,
+                            reads=["dev0_panel"], writes=["dev0_panel"])
 
     @property
     def seconds(self) -> float:

@@ -54,13 +54,19 @@ ResourceKey = Tuple[int, str]
 
 
 class StreamEvent:
-    """Completion marker of one submission, in modeled seconds."""
+    """Completion marker of one submission, in modeled seconds.
 
-    __slots__ = ("time", "label")
+    When a race checker is attached, the event also carries the vector
+    clock of the submission that produced it, so passing it via
+    ``deps=`` establishes a happens-before edge the sanitizer sees.
+    """
 
-    def __init__(self, time: float, label: str = ""):
+    __slots__ = ("time", "label", "clock")
+
+    def __init__(self, time: float, label: str = "", clock=None):
         self.time = float(time)
         self.label = label
+        self.clock = clock  # Optional[Dict[ResourceKey, int]]
 
     def __repr__(self) -> str:
         return f"StreamEvent(t={self.time:.6g}, {self.label!r})"
@@ -91,12 +97,22 @@ class StreamScheduler:
         self._busy: Dict[ResourceKey, float] = {}
         self._frontier = 0.0
         self._submissions = 0
+        #: Optional repro.analysis.races.RaceChecker observing every
+        #: submission's declared ``reads=``/``writes=`` buffer accesses.
+        self.race_checker = None
 
     # -- wiring ------------------------------------------------------------
     def attach_recorder(self, recorder) -> None:
         """Mirror every subsequent submission into ``recorder`` (pass
         ``None`` to detach)."""
         self.recorder = recorder
+
+    def attach_race_checker(self, checker) -> None:
+        """Feed every subsequent submission through a happens-before
+        race ``checker`` (:class:`repro.analysis.races.RaceChecker`;
+        pass ``None`` to detach).  Observation-only: start times,
+        charged seconds, and :attr:`elapsed` are unaffected."""
+        self.race_checker = checker
 
     def _key(self, device: int, stream: str) -> ResourceKey:
         if device != HOST and not 0 <= device < self.ng:
@@ -117,7 +133,9 @@ class StreamScheduler:
                resources: Sequence[ResourceKey] = (),
                after_all: bool = False, account: bool = True,
                label: str = "", flops: float = 0.0,
-               bytes_moved: float = 0.0) -> StreamEvent:
+               bytes_moved: float = 0.0,
+               reads: Sequence[str] = (),
+               writes: Sequence[str] = ()) -> StreamEvent:
         """Place one piece of work on ``(device, stream)``.
 
         ``resources`` lists extra ``(device, stream)`` pairs the work
@@ -127,28 +145,39 @@ class StreamScheduler:
         everything in flight (a value-dependent join).  ``account=False``
         records the span for the trace without charging the timeline —
         the mirror half of symmetric multi-device work.
+
+        ``reads=``/``writes=`` name the logical buffers the work
+        touches (e.g. ``"B_chunk[0]"``, ``"R_bar"``) for the attached
+        race checker; they have no effect on scheduling.
         """
         keys = [self._key(device, stream)]
         keys += [self._key(d, s) for d, s in resources]
         start = self._start_time(keys, deps, after_all)
+        clock = self._race_check(phase, label, keys, deps, after_all,
+                                 reads, writes)
         return self._place(phase, seconds, keys, start,
                            record_on=[(device, stream, account)],
                            label=label, flops=flops,
-                           bytes_moved=bytes_moved, account=account)
+                           bytes_moved=bytes_moved, account=account,
+                           clock=clock)
 
     def submit_group(self, phase: str, seconds: float, *,
                      placements: Sequence[ResourceKey],
                      deps: Sequence[StreamEvent] = (),
                      after_all: bool = False, label: str = "",
                      flops: float = 0.0,
-                     bytes_moved: float = 0.0) -> StreamEvent:
+                     bytes_moved: float = 0.0,
+                     reads: Sequence[str] = (),
+                     writes: Sequence[str] = ()) -> StreamEvent:
         """Symmetric work starting together on several streams.
 
         The devices run in lockstep (same local shapes), so the work is
         charged **once** — first placement accounted, the rest recorded
         as unaccounted mirror spans for the per-device trace.  With
-        ``overlap=False`` the mirrors are dropped: the schedule is
-        serial and the trace keeps the flat single-track layout.
+        ``overlap=False`` the mirrors are dropped *after* validation:
+        every placement still goes through :meth:`_key`, so a typo'd
+        stream name fails identically in serialized and overlapped
+        mode.
         """
         if not placements:
             raise ConfigurationError("submit_group needs placements")
@@ -156,15 +185,53 @@ class StreamScheduler:
         if not self.overlap:
             keys = keys[:1]
         start = self._start_time(keys, deps, after_all)
+        clock = self._race_check(phase, label, keys, deps, after_all,
+                                 reads, writes)
         record_on = [(d, s, i == 0)
                      for i, (d, s) in enumerate(placements[:len(keys)])]
         return self._place(phase, seconds, keys, start,
                            record_on=record_on, label=label, flops=flops,
-                           bytes_moved=bytes_moved, account=True)
+                           bytes_moved=bytes_moved, account=True,
+                           clock=clock)
 
     def barrier(self) -> StreamEvent:
         """Event completing when everything submitted so far has."""
-        return StreamEvent(self._frontier, "barrier")
+        clock = (self.race_checker.global_clock()
+                 if self.race_checker is not None else None)
+        return StreamEvent(self._frontier, "barrier", clock=clock)
+
+    def _race_check(self, phase: str, label: str,
+                    keys: List[ResourceKey],
+                    deps: Sequence[StreamEvent], after_all: bool,
+                    reads: Sequence[str],
+                    writes: Sequence[str]) -> Optional[Dict]:
+        """Feed one submission to the attached race checker (if any)
+        and return its vector clock for the completion event.
+
+        ``overlap=False`` serializes every submission after the global
+        frontier, so the checker sees it as ``after_all=True`` — a
+        serialized schedule can never race.  Newly detected races are
+        mirrored into the attached span recorder so they land in the
+        run artifact next to the spans they involve.
+        """
+        checker = self.race_checker
+        if checker is None:
+            return None
+        dep_clocks = [ev.clock for ev in deps
+                      if isinstance(ev, StreamEvent)
+                      and ev.clock is not None]
+        before = len(checker.races)
+        try:
+            clock = checker.on_submit(
+                label=label, phase=phase, lanes=keys,
+                dep_clocks=dep_clocks,
+                after_all=after_all or not self.overlap,
+                reads=reads, writes=writes)
+        finally:
+            if self.recorder is not None:
+                for race in checker.races[before:]:
+                    self.recorder.record_race(race.to_dict())
+        return clock
 
     def _start_time(self, keys: List[ResourceKey],
                     deps: Sequence[StreamEvent],
@@ -184,7 +251,7 @@ class StreamScheduler:
     def _place(self, phase: str, seconds: float, keys: List[ResourceKey],
                start: float, record_on: List[Tuple[int, str, bool]],
                label: str, flops: float, bytes_moved: float,
-               account: bool) -> StreamEvent:
+               account: bool, clock: Optional[Dict] = None) -> StreamEvent:
         if phase not in PHASES:
             raise ConfigurationError(
                 f"unknown phase {phase!r} submitted to the stream "
@@ -209,7 +276,7 @@ class StreamScheduler:
                     flops=flops, bytes_moved=bytes_moved,
                     device_id=device, memory_high_water=hw,
                     stream=stream, start=start, accounted=accounted)
-        return StreamEvent(end, label)
+        return StreamEvent(end, label, clock=clock)
 
     # -- introspection -----------------------------------------------------
     @property
@@ -226,20 +293,43 @@ class StreamScheduler:
         return self._busy.get(self._key(device, stream), 0.0)
 
     # -- replay / resume ---------------------------------------------------
+    @staticmethod
+    def _parse_key(key) -> Tuple[int, str]:
+        """Accept both snapshot key forms: the legacy in-memory
+        ``(device, stream)`` tuple and the JSON-portable ``"device:stream"``
+        string that :meth:`state` now emits."""
+        if isinstance(key, str):
+            device, sep, stream = key.partition(":")
+            if not sep:
+                raise ConfigurationError(f"bad resource key {key!r}")
+            return int(device), stream
+        device, stream = key
+        return int(device), stream
+
     def state(self) -> Dict:
-        """Snapshot of the schedule clock (in-process resume/replay)."""
-        return {"ready": dict(self._ready), "busy": dict(self._busy),
+        """Snapshot of the schedule clock (resume/replay).
+
+        Resource keys are stringified as ``"device:stream"`` so the
+        snapshot survives ``json.dumps``/``json.loads`` unchanged —
+        replay state can be persisted to disk between processes.
+        """
+        return {"ready": {f"{d}:{s}": t
+                          for (d, s), t in self._ready.items()},
+                "busy": {f"{d}:{s}": t
+                         for (d, s), t in self._busy.items()},
                 "frontier": self._frontier,
                 "submissions": self._submissions}
 
     def restore(self, state: Dict) -> None:
         """Resume from a :meth:`state` snapshot: subsequent submissions
-        schedule exactly as if the run had never been interrupted."""
+        schedule exactly as if the run had never been interrupted.
+        Accepts both the JSON string-keyed form and the legacy
+        tuple-keyed form."""
         try:
-            self._ready = {self._key(d, s): float(t)
-                           for (d, s), t in state["ready"].items()}
-            self._busy = {self._key(d, s): float(t)
-                          for (d, s), t in state["busy"].items()}
+            self._ready = {self._key(*self._parse_key(k)): float(t)
+                           for k, t in state["ready"].items()}
+            self._busy = {self._key(*self._parse_key(k)): float(t)
+                          for k, t in state["busy"].items()}
             self._frontier = float(state["frontier"])
             self._submissions = int(state["submissions"])
         except (KeyError, TypeError, ValueError) as exc:

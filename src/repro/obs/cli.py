@@ -3,6 +3,7 @@
 Subcommands::
 
     repro-bench obs run fig11 --bench BENCH_fig11.json --trace fig11.trace.json
+    repro-bench obs run fig15 --race-check --race-report race-report.json
     repro-bench obs render BENCH_fig11.json
     repro-bench obs diff benchmarks/baseline/BENCH_smoke.json BENCH_smoke.json --tol 0.05
 
@@ -58,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "run: 'on' pipelines compute against comms "
                           "(default), 'off' is the serial-sum ablation; "
                           "--bench always exports both fig15 series")
+    run.add_argument("--race-check", action="store_true",
+                     help="run the figure's representative config under "
+                          "the happens-before race sanitizer and print "
+                          "the race report; exits 1 if any race is "
+                          "found (see docs/static_analysis.md)")
+    run.add_argument("--race-report", metavar="PATH", default=None,
+                     help="with --race-check, also write the "
+                          "machine-readable race report JSON to PATH")
 
     render = sub.add_parser("render",
                             help="print one artifact as text tables")
@@ -88,10 +97,25 @@ def _cmd_run(args) -> int:
         print(f"obs run: unsupported figure {args.figure!r}; supported: "
               f"{', '.join(sorted(OBS_FIGURES))}", file=sys.stderr)
         return EXIT_ERROR
-    if not args.bench and not args.trace:
-        print("obs run: nothing to do; pass --bench and/or --trace",
+    if not args.bench and not args.trace and not args.race_check:
+        print("obs run: nothing to do; pass --bench, --trace, and/or "
+              "--race-check", file=sys.stderr)
+        return EXIT_ERROR
+    if args.race_report and not args.race_check:
+        print("obs run: --race-report requires --race-check",
               file=sys.stderr)
         return EXIT_ERROR
+    races_found = 0
+    if args.race_check:
+        from ..analysis.races import render_report, write_report
+        _, recorder = observed_fixed_rank(
+            args.figure, overlap=(args.overlap != "off"), race_check=True)
+        report = recorder.race_report or {}
+        print(render_report(report))
+        if args.race_report:
+            write_report(args.race_report, report)
+            print(f"[wrote {args.race_report}]")
+        races_found = report.get("race_count", 0)
     if args.trace:
         timing, recorder = observed_fixed_rank(
             args.figure, overlap=(args.overlap != "off"))
@@ -106,7 +130,7 @@ def _cmd_run(args) -> int:
                                     label=args.label)
         npts = len(doc["figures"][args.figure]["points"])
         print(f"[wrote {args.bench}: {npts} points]")
-    return EXIT_OK
+    return EXIT_REGRESSION if races_found else EXIT_OK
 
 
 def _cmd_render(args) -> int:

@@ -123,6 +123,17 @@ class SpanRecorder:
         self._step: Optional[Span] = None
         self.counters: Dict[str, PhaseCounter] = {}
         self.peak_memory_bytes = 0
+        #: Races mirrored from an attached stream-scheduler race checker
+        #: (dicts in the :meth:`repro.analysis.races.Race.to_dict`
+        #: shape), so the artifact carries them next to the spans.
+        self.races: List[Dict] = []
+        #: Full :meth:`repro.analysis.races.RaceChecker.report` document
+        #: of the run, set by the bench harness under ``race_check``.
+        self.race_report: Optional[Dict] = None
+
+    def record_race(self, race: Dict) -> None:
+        """Mirror one detected race (called by the stream scheduler)."""
+        self.races.append(dict(race))
 
     # -- run management ---------------------------------------------------
     def begin_run(self, name: str = "run") -> Span:

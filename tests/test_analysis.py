@@ -386,6 +386,223 @@ class TestRS108:
 
 
 # ---------------------------------------------------------------------------
+# RS109-RS112: stream-scheduler concurrency lints
+# ---------------------------------------------------------------------------
+
+_STREAMS_IMPORT = "from repro.gpu.streams import StreamScheduler\n"
+MOD = "repro/gpu/mod.py"
+MGPU = "repro/gpu/multigpu.py"
+
+
+class TestRS109:
+    def test_flags_bare_submit_without_ordering(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.submit('comms', 1.0, stream='compute')\n"
+               "    s.submit_group('comms', 1.0, placements=[(0, 'd2h')])\n")
+        out = run_rule(tmp_path, src, rel=MOD, select=["RS109"])
+        assert rules_of(out) == ["RS109", "RS109"]
+        assert "discarded" in out[0].message
+
+    def test_flags_bare_barrier(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.barrier()\n")
+        out = run_rule(tmp_path, src, rel=MOD, select=["RS109"])
+        assert rules_of(out) == ["RS109"]
+        assert "barrier" in out[0].message
+
+    def test_kept_event_and_ordered_submits_pass(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    ev = s.submit('comms', 1.0)\n"
+               "    s.submit('comms', 1.0, deps=[ev])\n"
+               "    s.submit('comms', 1.0, after_all=True)\n"
+               "    b = s.barrier()\n"
+               "    return b\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS109"]) == []
+
+    def test_not_applied_without_streams_import(self, tmp_path):
+        # concurrent.futures-style .submit() is out of scope.
+        src = ("def f(pool, job):\n"
+               "    pool.submit(job, 1.0)\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS109"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.submit('comms', 1.0)  # repro: noqa RS109\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS109"]) == []
+
+
+class TestRS110:
+    @pytest.mark.parametrize("stream", ["comms", "h2d", "d2h"])
+    def test_flags_unordered_transfer(self, tmp_path, stream):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               f"    ev = s.submit('comms', 1.0, stream='{stream}')\n"
+               "    return ev\n")
+        out = run_rule(tmp_path, src, rel=MOD, select=["RS110"])
+        assert rules_of(out) == ["RS110"]
+        assert "ordered by nothing" in out[0].message \
+            or "racing its producer" in out[0].message
+
+    def test_flags_empty_deps_literal(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    ev = s.submit('comms', 1.0, stream='d2h', deps=[],\n"
+               "                  after_all=False)\n"
+               "    return ev\n")
+        assert rules_of(run_rule(tmp_path, src, rel=MOD,
+                                 select=["RS110"])) == ["RS110"]
+
+    def test_ordered_transfers_pass(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s, ev, d):\n"
+               "    s.submit('comms', 1.0, stream='d2h', deps=[ev],\n"
+               "             reads=['B'])\n"
+               "    s.submit('comms', 1.0, stream='h2d',\n"
+               "             after_all=(d == 0))\n"
+               "    s.submit('comms', 1.0, stream='d2h', after_all=True)\n"
+               "    s.submit('gemm_iter', 1.0, stream='compute')\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS110"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    ev = s.submit('comms', 1.0, stream='d2h')"
+               "  # repro: noqa RS110\n"
+               "    return ev\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS110"]) == []
+
+
+class TestRS111:
+    def test_flags_unannotated_submit_in_multigpu(self, tmp_path):
+        src = ("from .streams import StreamScheduler\n"
+               "def f(s):\n"
+               "    s.submit('comms', 1.0, after_all=True)\n"
+               "    s.submit_group('comms', 1.0,\n"
+               "                   placements=[(0, 'compute')],\n"
+               "                   after_all=True)\n")
+        out = run_rule(tmp_path, src, rel=MGPU, select=["RS111"])
+        assert rules_of(out) == ["RS111", "RS111"]
+        assert "race sanitizer" in out[0].message
+
+    def test_annotated_and_forwarding_submits_pass(self, tmp_path):
+        src = ("from .streams import StreamScheduler\n"
+               "def f(s, reads, writes):\n"
+               "    s.submit('comms', 1.0, after_all=True, writes=['B'])\n"
+               "    s.submit('comms', 1.0, after_all=True, reads=['B'])\n"
+               "    s.submit_group('comms', 1.0,\n"
+               "                   placements=[(0, 'compute')],\n"
+               "                   after_all=True,\n"
+               "                   reads=reads, writes=writes)\n")
+        assert run_rule(tmp_path, src, rel=MGPU, select=["RS111"]) == []
+
+    def test_not_enforced_outside_multigpu(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.submit('comms', 1.0, after_all=True)\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS111"]) == []
+
+    def test_shipped_multigpu_fully_annotated(self):
+        out = analyze_paths(
+            [REPO_ROOT / "src" / "repro" / "gpu" / "multigpu.py"],
+            root=REPO_ROOT / "src", select=["RS111"])
+        assert out == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = ("from .streams import StreamScheduler\n"
+               "def f(s):\n"
+               "    s.submit('comms', 1.0, after_all=True)"
+               "  # repro: noqa RS111\n")
+        assert run_rule(tmp_path, src, rel=MGPU, select=["RS111"]) == []
+
+
+class TestRS112:
+    def test_flags_dict_literal_missing_keys(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.restore({'ready': {}, 'busy': {}})\n")
+        out = run_rule(tmp_path, src, rel=MOD, select=["RS112"])
+        assert rules_of(out) == ["RS112"]
+        assert "frontier" in out[0].message
+
+    def test_flags_non_dict_literal_and_bad_arity(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.restore(None)\n"
+               "    s.restore('snapshot.json')\n"
+               "    s.restore()\n")
+        out = run_rule(tmp_path, src, rel=MOD, select=["RS112"])
+        assert rules_of(out) == ["RS112", "RS112", "RS112"]
+
+    def test_state_roundtrip_and_dynamic_args_pass(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "import json\n"
+               "def f(s, snap):\n"
+               "    s.restore(s.state())\n"
+               "    s.restore(snap)\n"
+               "    s.restore(json.loads('{}'))\n"
+               "    s.restore({'ready': {}, 'busy': {}, 'frontier': 0.0,\n"
+               "               'submissions': 0})\n"
+               "    s.restore({**snap})\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS112"]) == []
+
+    def test_suppressed_by_noqa(self, tmp_path):
+        src = (_STREAMS_IMPORT +
+               "def f(s):\n"
+               "    s.restore(None)  # repro: noqa RS112\n")
+        assert run_rule(tmp_path, src, rel=MOD, select=["RS112"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS113: stale suppressions
+# ---------------------------------------------------------------------------
+
+class TestRS113:
+    def test_flags_stale_named_noqa(self, tmp_path):
+        src = ("__all__ = []\n"
+               "x = 1  # repro: noqa RS105\n")
+        out = run_rule(tmp_path, src, rel=MOD)
+        assert rules_of(out) == ["RS113"]
+        assert "stale suppression" in out[0].message
+
+    def test_used_noqa_not_flagged(self, tmp_path):
+        src = ("__all__ = []\n"
+               "import numpy as np\n"
+               "x = np.random.rand(3)  # repro: noqa RS105\n")
+        assert run_rule(tmp_path, src, rel=MOD) == []
+
+    def test_stale_bare_noqa_flagged_on_full_run(self, tmp_path):
+        src = ("__all__ = []\n"
+               "x = 1  # repro: noqa\n")
+        out = run_rule(tmp_path, src, rel=MOD)
+        assert rules_of(out) == ["RS113"]
+        assert "bare noqa" in out[0].message
+
+    def test_partial_select_cannot_judge(self, tmp_path):
+        # RS105 never ran, so its suppression may well be load-bearing.
+        src = ("__all__ = []\n"
+               "x = 1  # repro: noqa RS105\n")
+        assert run_rule(tmp_path, src, rel=MOD,
+                        select=["RS106", "RS113"]) == []
+        # ... but selecting the named rule alongside RS113 does judge.
+        assert rules_of(run_rule(tmp_path, src, rel=MOD,
+                                 select=["RS105", "RS113"])) == ["RS113"]
+
+    def test_explicit_rs113_opts_out(self, tmp_path):
+        src = ("__all__ = []\n"
+               "x = 1  # repro: noqa RS105, RS113\n")
+        assert run_rule(tmp_path, src, rel=MOD) == []
+
+    def test_docstring_noqa_example_is_not_a_directive(self, tmp_path):
+        src = ('"""Suppress with ``# repro: noqa RS105`` on the line."""\n'
+               "__all__ = []\n")
+        assert run_rule(tmp_path, src, rel=MOD) == []
+
+
+# ---------------------------------------------------------------------------
 # Engine: suppressions, selection, errors
 # ---------------------------------------------------------------------------
 
@@ -508,11 +725,25 @@ _VIOLATIONS = {
               "    benchmark.extra_info['speedup'] = 2.0\n"),
     "RS108": ("def f(dev):\n"
               "    dev.charge('comms', 1.0, 'x')\n"),
+    "RS109": ("from repro.gpu.streams import StreamScheduler\n"
+              "def f(s):\n"
+              "    s.submit('comms', 1.0, stream='compute')\n"),
+    "RS110": ("from repro.gpu.streams import StreamScheduler\n"
+              "def f(s):\n"
+              "    ev = s.submit('comms', 1.0, stream='d2h')\n"
+              "    return ev\n"),
+    "RS111": ("from .streams import StreamScheduler\n"
+              "def f(s):\n"
+              "    s.submit('comms', 1.0, after_all=True)\n"),
+    "RS112": ("from repro.gpu.streams import StreamScheduler\n"
+              "def f(s):\n"
+              "    s.restore({'ready': {}, 'busy': {}})\n"),
 }
 
 #: Rules scoped by path need their fixture at a matching location.
 _VIOLATION_PATHS = {"RS107": ("benchmarks", "bad.py"),
-                    "RS108": ("repro", "gpu", "multigpu.py")}
+                    "RS108": ("repro", "gpu", "multigpu.py"),
+                    "RS111": ("repro", "gpu", "multigpu.py")}
 
 
 class TestCLI:
@@ -525,6 +756,17 @@ class TestCLI:
         code = analyze_main([str(path), "--select", rule, "--no-baseline"])
         assert code == EXIT_FINDINGS
         assert rule in capsys.readouterr().out
+
+    def test_rs113_fails_stale_suppression(self, tmp_path, capsys):
+        # RS113 needs the named rule to have run, so it cannot live in
+        # the single-rule ``--select`` parametrization above.
+        path = tmp_path / "repro" / "core" / "bad.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("__all__ = []\nx = 1  # repro: noqa RS105\n",
+                        encoding="utf-8")
+        code = analyze_main([str(path), "--no-baseline"])
+        assert code == EXIT_FINDINGS
+        assert "RS113" in capsys.readouterr().out
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
         path = tmp_path / "clean.py"
@@ -575,7 +817,7 @@ class TestCLI:
     def test_list_rules(self, capsys):
         assert analyze_main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule in sorted(_VIOLATIONS):
+        for rule in sorted(_VIOLATIONS) + ["RS113"]:
             assert rule in out
 
     def test_repro_bench_analyze_delegates(self, tmp_path, capsys):

@@ -59,6 +59,26 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             StreamScheduler(ng=1).restore({"ready": {}})
 
+    def test_malformed_state_key(self):
+        with pytest.raises(ConfigurationError):
+            StreamScheduler(ng=1).restore(
+                {"ready": {"compute": 1.0}, "busy": {},
+                 "frontier": 1.0, "submissions": 1})
+
+    def test_group_validates_every_placement_when_serial(self):
+        """``overlap=False`` truncates the mirrors but only *after*
+        validation: a typo in any placement must fail identically in
+        serialized and overlapped mode."""
+        for overlap in (False, True):
+            sched = StreamScheduler(ng=2, overlap=overlap)
+            with pytest.raises(ConfigurationError):
+                sched.submit_group("gemm_iter", 1.0, placements=[
+                    (0, "compute"), (1, "compte")])
+            with pytest.raises(ConfigurationError):
+                sched.submit_group("gemm_iter", 1.0, placements=[
+                    (0, "compute"), (5, "compute")])
+            assert sched.submissions == 0
+
 
 class TestSerialEquivalence:
     """overlap=off must be the old serial model, bit for bit."""
@@ -151,6 +171,30 @@ class TestReplayResume:
         assert resumed.elapsed == pytest.approx(full.elapsed)
         assert resumed.state()["busy"] == pytest.approx(
             full.state()["busy"])
+
+    def test_state_survives_json_roundtrip(self):
+        import json
+        half = self._script(StreamScheduler(ng=2))
+        snap = json.loads(json.dumps(half.state()))
+        assert snap == half.state()   # string keys: lossless round-trip
+        resumed = StreamScheduler(ng=2)
+        resumed.restore(snap)
+        full = self._script(self._script(StreamScheduler(ng=2)))
+        self._script(resumed)
+        assert resumed.elapsed == pytest.approx(full.elapsed)
+        assert resumed.state() == full.state()
+
+    def test_restore_accepts_legacy_tuple_keys(self):
+        half = self._script(StreamScheduler(ng=2))
+        snap = half.state()
+        legacy = dict(snap)
+        legacy["ready"] = {(int(k.split(":")[0]), k.split(":")[1]): v
+                           for k, v in snap["ready"].items()}
+        legacy["busy"] = {(int(k.split(":")[0]), k.split(":")[1]): v
+                          for k, v in snap["busy"].items()}
+        resumed = StreamScheduler(ng=2)
+        resumed.restore(legacy)
+        assert resumed.state() == snap
 
     def test_reset_clears_clock(self):
         sched = self._script(StreamScheduler(ng=2))
