@@ -24,6 +24,8 @@ RS111   ``submit``/``submit_group`` without ``reads=``/``writes=``
         race-sanitizer annotations (``repro/gpu/multigpu.py``)
 RS112   ``restore()`` fed a dict that is not a ``state()`` snapshot
 RS113   stale ``# repro: noqa`` suppressing nothing
+RS114   raw ``np.linalg``/``np.fft``/``scipy.linalg`` outside
+        ``repro/backends`` (bypasses the pluggable-backend seam)
 ======  =====================================================
 
 The static concurrency lints (RS109-RS112) pair with the dynamic

@@ -30,7 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="AST-based invariant checker for the simulated-GPU "
-                    "executor contract (rules RS101-RS113).")
+                    "executor contract (rules RS101-RS114).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to scan "
                              "(default: src/repro)")

@@ -222,8 +222,8 @@ def register(cls: Type[BaseChecker]) -> Type[BaseChecker]:
 
 def all_rules() -> Dict[str, Type[BaseChecker]]:
     """Rule id -> checker class, loading the built-in rule modules."""
-    from . import (rules_bench, rules_executor,  # noqa: F401 (side effect)
-                   rules_hygiene, rules_streams)
+    from . import (rules_backends, rules_bench,  # noqa: F401 (side effect)
+                   rules_executor, rules_hygiene, rules_streams)
     return dict(sorted(_REGISTRY.items()))
 
 

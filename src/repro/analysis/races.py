@@ -33,6 +33,13 @@ seconds, or the critical path.  ``raise_on_race=True`` (what
 at detection time; the default collects :class:`Race` records for the
 machine-readable :meth:`RaceChecker.report` that ``repro-bench obs run
 --race-check`` writes and CI renders.
+
+The static twins of this sanitizer are lints RS109-RS112 (dropped
+events, unordered transfers, missing ``reads=``/``writes=``
+annotations — the annotations this checker consumes); together they
+make the vector-clock evidence complete.  See
+``docs/static_analysis.md`` for the rule reference and
+``docs/performance.md`` for the stream model under test.
 """
 
 from __future__ import annotations

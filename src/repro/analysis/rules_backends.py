@@ -1,0 +1,84 @@
+"""Backend-boundary rule: RS114 raw linear algebra outside
+:mod:`repro.backends`.
+
+The pluggable-backend contract concentrates every LAPACK/BLAS-level
+primitive behind :class:`repro.backends.base.ComputeBackend` (device
+math) and :mod:`repro.backends.hostmath` (host-side diagnostics).  A
+stray ``np.linalg.svd`` anywhere else silently pins that call site to
+NumPy: it bypasses backend selection, escapes the kernel/transfer
+accounting in ``BackendStats``, and breaks the parity guarantee that
+swapping ``--backend`` changes arithmetic only inside the backends
+package.  RS114 keeps the boundary tight so the guarantee stays
+checkable by grep-free machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Tuple
+
+from .engine import BaseChecker, register
+from .rules_executor import dotted_name
+
+__all__ = ["BackendLeakChecker", "BACKEND_EXEMPT_SCOPES"]
+
+#: Path fragments (posix) where raw linalg is the implementation layer
+#: itself and therefore sanctioned.
+BACKEND_EXEMPT_SCOPES: Tuple[str, ...] = ("repro/backends/",)
+
+#: Dotted-call prefixes that must stay inside the backends package.
+_LINALG_PREFIXES = ("np.linalg.", "numpy.linalg.", "np.fft.",
+                    "numpy.fft.", "scipy.linalg.", "sp.linalg.")
+
+#: Module names whose ``from X import ...`` is likewise a boundary leak.
+_LINALG_MODULES = ("numpy.linalg", "numpy.fft", "scipy.linalg")
+
+
+@register
+class BackendLeakChecker(BaseChecker):
+    """RS114: linear-algebra primitives must live in repro.backends.
+
+    Outside ``repro/backends/``, calls through ``np.linalg.*`` /
+    ``np.fft.*`` / ``scipy.linalg.*`` (and ``from numpy.linalg import
+    ...``-style imports) must be rewritten against the executor's
+    backend handle (device math) or ``repro.backends.hostmath``
+    (host-side diagnostics).  Unlike RS101 this applies to the whole
+    source tree, not just ``repro/core``, and ``@allow_untimed_math``
+    does not exempt it — untimed diagnostics still route through
+    hostmath so the backend boundary stays the single seam.
+    """
+
+    rule = "RS114"
+    summary = ("raw numpy/scipy linear algebra outside repro.backends; "
+               "route through the backend handle or hostmath")
+
+    def run(self):
+        if any(scope in self.ctx.relpath
+               for scope in BACKEND_EXEMPT_SCOPES):
+            return self.findings
+        if "repro/" not in self.ctx.relpath:
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name.startswith(_LINALG_PREFIXES):
+            self.emit(node, f"call to {name} outside repro.backends; "
+                            "use the executor's backend handle or "
+                            "repro.backends.hostmath")
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _LINALG_MODULES:
+                self.emit(node, f"import of {alias.name} outside "
+                                "repro.backends; route the math through "
+                                "repro.backends.hostmath")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _LINALG_MODULES:
+            self.emit(node, f"from {node.module} import ... outside "
+                            "repro.backends; route the math through "
+                            "repro.backends.hostmath")
+        self.generic_visit(node)

@@ -1,0 +1,139 @@
+"""Pluggable compute backends behind the executor contract.
+
+The registry maps names to :class:`~repro.backends.base.ComputeBackend`
+classes; selection resolves in priority order
+
+1. an explicit ``backend=`` argument / config field / ``--backend``
+   CLI flag,
+2. the ``REPRO_BACKEND`` environment variable,
+3. the repo default ``"simulated"`` (bit-reproducible modeled clock).
+
+``"auto"`` asks :func:`detect_backend` for the fastest *available*
+hardware stack — CuPy, then torch, then plain NumPy — mirroring the
+auto-detection idiom of VRAMancer's ``compute_engine.py``.  Optional
+backends whose dependency is missing stay registered but unavailable;
+asking for one by name raises :class:`repro.errors.ConfigurationError`
+with the installed alternatives listed.
+
+See ``docs/backends.md`` for the full contract and worked examples.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Type, Union
+
+from ..errors import ConfigurationError
+from . import hostmath
+from .base import BackendStats, ComputeBackend
+from .cupy_backend import CupyBackend
+from .numpy_backend import NumpyBackend
+from .simulated import SimulatedBackend
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "BackendStats", "ComputeBackend", "NumpyBackend", "SimulatedBackend",
+    "TorchBackend", "CupyBackend", "BACKENDS", "DEFAULT_BACKEND",
+    "available_backends", "detect_backend", "default_backend_name",
+    "get_default_backend", "make_backend", "resolve_backend", "hostmath",
+]
+
+#: Name → class registry (insertion order = documentation order).
+BACKENDS: Dict[str, Type[ComputeBackend]] = {
+    "simulated": SimulatedBackend,
+    "numpy": NumpyBackend,
+    "torch": TorchBackend,
+    "cupy": CupyBackend,
+}
+
+#: The repo-wide default: modeled clock, bit-reproducible figures.
+DEFAULT_BACKEND = "simulated"
+
+#: Hardware preference order used by ``"auto"`` detection.
+_AUTO_ORDER = ("cupy", "torch", "numpy")
+
+
+def available_backends() -> List[str]:
+    """Registry names whose runtime dependency is importable here."""
+    return [name for name, cls in BACKENDS.items() if cls.available()]
+
+
+def detect_backend() -> str:
+    """Best *hardware* backend name on this machine (``"auto"`` mode):
+    CuPy if a CUDA device answers, else torch, else plain NumPy."""
+    for name in _AUTO_ORDER:
+        if BACKENDS[name].available():
+            return name
+    return "numpy"
+
+
+def default_backend_name() -> str:
+    """Session default: ``REPRO_BACKEND`` env var if set (``"auto"``
+    resolves through :func:`detect_backend`), else ``"simulated"``."""
+    name = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not name:
+        return DEFAULT_BACKEND
+    if name == "auto":
+        return detect_backend()
+    return name
+
+
+_DEFAULT_CACHE: Dict[str, ComputeBackend] = {}
+
+
+def get_default_backend() -> ComputeBackend:
+    """Process-wide cached instance of the session default backend.
+
+    Kernels deep in the QR stack resolve ``backend=None`` through this,
+    so a bare ``cholqr_rows(b)`` call costs no construction; executors
+    hold their own instance and pass it down explicitly.
+    """
+    name = default_backend_name()
+    if name == "auto":
+        name = detect_backend()
+    inst = _DEFAULT_CACHE.get(name)
+    if inst is None:
+        inst = make_backend(name)
+        _DEFAULT_CACHE[name] = inst
+    return inst
+
+
+def make_backend(name: Optional[str] = None) -> ComputeBackend:
+    """Instantiate a backend by registry name.
+
+    ``None`` uses :func:`default_backend_name`; ``"auto"`` picks the
+    best available hardware stack.  Unknown or unavailable names raise
+    :class:`~repro.errors.ConfigurationError` listing what this machine
+    can actually run.
+    """
+    if name is None:
+        name = default_backend_name()
+    name = name.strip().lower()
+    if name == "auto":
+        name = detect_backend()
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; known: {', '.join(BACKENDS)}")
+    if not cls.available():
+        raise ConfigurationError(
+            f"backend {name!r} is not available on this machine "
+            f"(missing dependency or no device); available: "
+            f"{', '.join(available_backends())}")
+    return cls()
+
+
+def resolve_backend(
+        spec: Union[None, str, ComputeBackend]) -> ComputeBackend:
+    """Normalize a backend spec — ``None`` / registry name / instance —
+    to a live :class:`ComputeBackend`.  The one entry point the
+    executors, QR kernels, and pipelines share."""
+    if isinstance(spec, ComputeBackend):
+        return spec
+    if spec is None:
+        return get_default_backend()
+    if isinstance(spec, str):
+        return make_backend(spec)
+    raise ConfigurationError(
+        f"backend spec must be None, a name, or a ComputeBackend "
+        f"instance; got {type(spec).__name__}")

@@ -1,0 +1,108 @@
+"""Host-side dense numerics: the one sanctioned home of raw
+``numpy.linalg`` / ``numpy.fft`` / ``scipy.linalg`` calls.
+
+Every module outside :mod:`repro.backends` must route linear algebra
+either through an executor operation (so the FLOPs are charged to the
+kernel model — rule RS101) or, for host-side diagnostics and small
+glue factorizations, through the helpers here (rule RS114).  Keeping
+the raw LAPACK/BLAS entry points in one module means a compute backend
+can be swapped underneath the executors while the *verification* math
+(residual norms, reference SVDs, orthogonality defects) stays on one
+canonical, bit-stable host implementation.
+
+These helpers deliberately stay thin: same semantics, same defaults,
+same exception types as the underlying routines, except where a
+docstring says otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+__all__ = [
+    "LinAlgError", "norm", "norm2", "column_norms", "row_norms",
+    "svd", "svdvals", "qr", "solve", "lstsq", "cholesky_upper",
+    "solve_triangular", "fft",
+]
+
+#: The breakdown exception of the host LAPACK routines (scipy re-uses
+#: numpy's class, so one ``except`` clause covers both).
+LinAlgError = np.linalg.LinAlgError
+
+
+def norm(a, ord=None, axis=None):
+    """``np.linalg.norm`` passthrough (vector/matrix norms)."""
+    return np.linalg.norm(a, ord=ord, axis=axis)
+
+
+def norm2(a) -> float:
+    """Spectral norm of a matrix (largest singular value) as a float."""
+    return float(np.linalg.norm(a, ord=2))
+
+
+def column_norms(a) -> np.ndarray:
+    """Per-column Euclidean norms (QRCP's pivot weights)."""
+    return np.linalg.norm(a, axis=0)
+
+
+def row_norms(a) -> np.ndarray:
+    """Per-row Euclidean norms (the adaptive scheme's DGKS guard)."""
+    return np.linalg.norm(a, axis=1)
+
+
+def svd(a, full_matrices: bool = False
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin (by default) singular value decomposition ``U, s, Vt``."""
+    return np.linalg.svd(a, full_matrices=full_matrices)
+
+
+def svdvals(a) -> np.ndarray:
+    """Singular values only (no singular vectors accumulated)."""
+    return np.linalg.svd(a, compute_uv=False)
+
+
+def qr(a) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduced QR factorization (LAPACK ``geqrf``/``orgqr``)."""
+    return np.linalg.qr(a)
+
+
+def solve(a, b) -> np.ndarray:
+    """Dense linear solve ``a x = b`` (LAPACK ``gesv``)."""
+    return np.linalg.solve(a, b)
+
+
+def lstsq(a, b) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``a x = b`` (``gelsd``).
+
+    Returns only the solution; use the executor/backend SVD if you need
+    rank or residual diagnostics.
+    """
+    x, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return x
+
+
+def cholesky_upper(g) -> np.ndarray:
+    """Upper Cholesky factor ``R`` with ``R^T R = g``.
+
+    Raises :data:`LinAlgError` when ``g`` is not numerically SPD;
+    callers that want the repo's error taxonomy should go through
+    :meth:`repro.backends.base.ComputeBackend.cholesky`, which maps the
+    breakdown to :class:`repro.errors.CholeskyBreakdownError`.
+    """
+    return scipy.linalg.cholesky(g, lower=False)
+
+
+def solve_triangular(r, b, lower: bool = False,
+                     trans: str = "N") -> np.ndarray:
+    """Triangular solve (LAPACK ``trtrs``); ``trans="T"`` solves
+    ``r^T x = b``."""
+    return scipy.linalg.solve_triangular(r, b, lower=lower, trans=trans)
+
+
+def fft(a, n: Optional[int] = None, axis: int = 0) -> np.ndarray:
+    """Discrete Fourier transform along ``axis``, zero-padded to ``n``
+    (the SRFT sampling operator's transform)."""
+    return np.fft.fft(a, n=n, axis=axis)

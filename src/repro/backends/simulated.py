@@ -1,0 +1,35 @@
+"""The simulated-clock modeling backend — the repo's default.
+
+``SimulatedBackend`` *is* the NumPy math engine: it subclasses
+:class:`repro.backends.numpy_backend.NumpyBackend` and overrides no
+kernel, so a run on either backend executes the identical host
+BLAS/LAPACK sequence and produces **bit-identical factors** (the parity
+suite in ``tests/test_backends.py`` asserts this on every gallery
+matrix).  What the name changes is the *accounting contract*:
+
+- ``is_model = True`` marks runs whose timing comes from the
+  :class:`repro.gpu.device.SimulatedGPU` kernel model, i.e. the
+  numbers that land in reproduced figures and the CI perf gate.  The
+  modeled clock is a deterministic function of shapes, so BENCH
+  artifacts diff to exactly zero across machines.
+- Symbolic (:class:`repro.gpu.device.SymArray`) sweeps only make sense
+  here: a hardware backend has nothing to run when the arrays carry
+  shapes but no data.
+
+The executors charge modeled seconds *around* these kernels; the
+backend's own ``stats.wall_seconds`` still measures real host time, so
+an observability artifact carries both clocks side by side.
+"""
+
+from __future__ import annotations
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["SimulatedBackend"]
+
+
+class SimulatedBackend(NumpyBackend):
+    """NumPy math under the modeled device clock (bit-reproducible)."""
+
+    name = "simulated"
+    is_model = True

@@ -13,6 +13,7 @@ artifact defined by :mod:`repro.obs.artifact`.
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Callable, Dict, Optional
 
 from ..errors import ConfigurationError
@@ -86,9 +87,16 @@ OBS_FIGURES = frozenset(("fig11", "fig12", "fig13", "fig15"))
 
 
 def write_figure_artifact(path: str, name: str,
-                          label: Optional[str] = None) -> Dict:
+                          label: Optional[str] = None,
+                          backend: Optional[str] = None) -> Dict:
     """Run one phase-breakdown figure driver and write its reproduced
-    series as a ``BENCH_<figure>.json`` artifact; returns the document."""
+    series as a ``BENCH_<figure>.json`` artifact; returns the document.
+
+    The schema-v2 fields record which compute backend the session ran
+    on (``backend``, defaulting to the session default's name) and the
+    real wall-clock seconds the driver took — the paper-model totals
+    inside the points stay modeled seconds.
+    """
     drivers = _obs_figures()
     try:
         driver = drivers[name]
@@ -96,7 +104,10 @@ def write_figure_artifact(path: str, name: str,
         raise ConfigurationError(
             f"figure {name!r} has no BENCH artifact export; available: "
             f"{sorted(drivers)}") from None
+    t0 = time.perf_counter()
     record = figure_record(name, breakdown_points=driver())
-    doc = build_artifact([record], label=label or name)
+    wall = time.perf_counter() - t0
+    doc = build_artifact([record], label=label or name,
+                         backend=backend, wall_clock_s=wall)
     write_artifact(path, doc)
     return doc

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import AdaptiveConfig, SamplingConfig
+from ..backends import hostmath
 from ..core.adaptive import adaptive_sampling
 from ..core.random_sampling import random_sampling
 from ..errors import ConvergenceError
@@ -334,7 +335,7 @@ def fig16_adaptive_convergence(l_incs: Sequence[int] = (8, 16, 32, 64),
         for st in res.steps:
             qpfx = basis[: st.subspace_size, :]
             resid = a - (a @ qpfx.T) @ qpfx
-            actuals.append(float(np.linalg.norm(resid, ord=2)))
+            actuals.append(hostmath.norm2(resid))
         runs.append({
             "l_inc": inc,
             "sizes": [st.subspace_size for st in res.steps],

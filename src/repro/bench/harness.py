@@ -72,7 +72,8 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
                      seed: int = 0,
                      recorder: Optional[SpanRecorder] = None,
                      overlap: bool = True,
-                     race_check: bool = False
+                     race_check: bool = False,
+                     backend: Optional[str] = None
                      ) -> FixedRankTiming:
     """Run the fixed-rank algorithm symbolically on the simulated
     device(s) and return the modeled phase breakdown.
@@ -85,6 +86,12 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
     communication (the paper's runtime), ``False`` is the serial-sum
     ablation; phase breakdowns are identical either way.
 
+    ``backend`` picks the compute backend the (non-symbolic parts of
+    the) math runs on — ``None`` means the session default, the
+    bit-reproducible ``"simulated"`` engine.  The backend's name and
+    real wall-clock land on the recorder and in BENCH artifacts next
+    to the modeled totals.
+
     ``race_check=True`` (multi-GPU runs only) attaches a happens-before
     :class:`repro.analysis.races.RaceChecker` to the stream scheduler
     in collecting mode; detected races land in ``recorder.races`` and
@@ -92,18 +99,22 @@ def timed_fixed_rank(m: int, n: int, k: int = 54, p: int = 10, q: int = 1,
     modeled totals are unchanged.
     """
     if ng == 1:
-        ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed)
+        ex: NumpyExecutor = GPUExecutor(spec=spec, seed=seed,
+                                        backend=backend)
     else:
-        ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed, overlap=overlap)
+        ex = MultiGPUExecutor(ng=ng, spec=spec, seed=seed, overlap=overlap,
+                              backend=backend)
     rec = recorder if recorder is not None else SpanRecorder()
     ex.attach_recorder(rec)
+    rec.note_backend(ex.backend)
     checker = None
     if race_check and hasattr(ex, "streams"):
         from ..analysis.races import RaceChecker
         checker = RaceChecker()
         ex.streams.attach_race_checker(checker)
     cfg = SamplingConfig(rank=k, oversampling=p, power_iterations=q,
-                         sampler=sampler, seed=seed)
+                         sampler=sampler, seed=seed,
+                         backend=ex.backend.name)
     run_name = f"fixed-rank m={m} n={n} k={k} q={q} ng={ng}"
     with rec.run_span(run_name):
         res = random_sampling(SymArray((m, n)), cfg, executor=ex)

@@ -354,6 +354,11 @@ def main(argv=None) -> int:
                         help="run sweep grid points over N worker "
                              "processes (0 = all cores); equivalent to "
                              "REPRO_SWEEP_PROCS=N")
+    parser.add_argument("--backend", metavar="NAME", default=None,
+                        help="compute backend for the math kernels "
+                             "(simulated, numpy, torch, cupy, or 'auto' "
+                             "to pick the best installed stack); "
+                             "equivalent to REPRO_BACKEND=NAME")
     args = parser.parse_args(argv)
 
     if args.full_scale:
@@ -362,6 +367,14 @@ def main(argv=None) -> int:
         if args.parallel < 0:
             parser.error("--parallel must be >= 0")
         os.environ["REPRO_SWEEP_PROCS"] = str(args.parallel)
+    if args.backend is not None:
+        from .backends import make_backend
+        from .errors import ConfigurationError
+        try:
+            make_backend(args.backend)  # fail fast on unknown/unavailable
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        os.environ["REPRO_BACKEND"] = args.backend
     _PLOT["enabled"] = bool(args.plot)
 
     if args.experiment == "list":

@@ -40,6 +40,18 @@ def _require(cond: bool, msg: str) -> None:
         raise ConfigurationError(msg)
 
 
+def _require_backend(name: Optional[str]) -> None:
+    """Validate a backend field by registry name (availability is
+    checked later, at resolution time — a config naming ``"torch"`` is
+    legal to *construct* on a machine without torch)."""
+    if name is None:
+        return
+    from .backends import BACKENDS
+    _require(name == "auto" or name in BACKENDS,
+             f"backend must be 'auto' or one of {tuple(BACKENDS)}, "
+             f"got {name!r}")
+
+
 @dataclass(frozen=True)
 class SamplingConfig:
     """Parameters of the fixed-rank randomized sampling algorithm (Fig. 2b).
@@ -70,6 +82,11 @@ class SamplingConfig:
     seed:
         Seed for the Gaussian / FFT row-selection PRNG.  ``None`` draws
         fresh entropy.
+    backend:
+        Compute-backend registry name (``"simulated"``, ``"numpy"``,
+        ``"torch"``, ``"cupy"``, or ``"auto"``) the pipeline's math
+        should run on; ``None`` defers to ``REPRO_BACKEND`` / the
+        session default.  See :mod:`repro.backends`.
     """
 
     rank: int
@@ -79,6 +96,7 @@ class SamplingConfig:
     orth: str = "cholqr2"
     reorthogonalize: bool = True
     seed: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(self.rank >= 1, f"rank must be >= 1, got {self.rank}")
@@ -90,6 +108,7 @@ class SamplingConfig:
                  f"sampler must be one of {SAMPLER_KINDS}, got {self.sampler!r}")
         _require(self.orth in ORTH_SCHEMES,
                  f"orth must be one of {ORTH_SCHEMES}, got {self.orth!r}")
+        _require_backend(self.backend)
 
     @property
     def sample_size(self) -> int:
@@ -133,7 +152,7 @@ class AdaptiveConfig:
     max_subspace:
         Hard cap on the subspace dimension; exceeding it raises
         :class:`repro.errors.ConvergenceError`.
-    orth, reorthogonalize, seed:
+    orth, reorthogonalize, seed, backend:
         As for :class:`SamplingConfig`.
     """
 
@@ -146,6 +165,7 @@ class AdaptiveConfig:
     orth: str = "cholqr2"
     reorthogonalize: bool = True
     seed: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(self.tolerance > 0.0,
@@ -162,6 +182,7 @@ class AdaptiveConfig:
         if self.max_subspace is not None:
             _require(self.max_subspace >= self.l_init,
                      "max_subspace must be >= l_init")
+        _require_backend(self.backend)
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..analysis.annotations import allow_untimed_math
+from ..backends import hostmath
 from ..config import AdaptiveConfig
 from ..errors import ConvergenceError
 from ..qr.utils import ensure_all_finite
@@ -122,9 +123,9 @@ class AdaptiveResult:
         Figure 16."""
         b = np.asarray(self.basis)
         resid = a - (a @ b.T) @ b
-        err = float(np.linalg.norm(resid, ord=2))
+        err = hostmath.norm2(resid)
         if relative:
-            na = float(np.linalg.norm(a, ord=2))
+            na = hostmath.norm2(a)
             return err / na if na > 0 else err
         return err
 
@@ -206,7 +207,8 @@ def adaptive_sampling(a: ArrayLike, config: AdaptiveConfig,
     m, n = shape_of(a)
     if check_finite:
         ensure_all_finite(a, "a")
-    ex = executor if executor is not None else NumpyExecutor(seed=config.seed)
+    ex = executor if executor is not None else NumpyExecutor(
+        seed=config.seed, backend=config.backend)
     ex.bind(a)
     cap = config.max_subspace if config.max_subspace is not None \
         else min(m, n)

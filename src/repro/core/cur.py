@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.annotations import allow_untimed_math
+from ..backends import hostmath
 from ..config import SamplingConfig
 from ..errors import ShapeError, SymbolicExecutionError
 from ..qr.utils import ensure_all_finite
@@ -63,9 +64,9 @@ class CURDecomposition:
 
     @allow_untimed_math("host-side diagnostic error norm")
     def residual(self, a: np.ndarray, relative: bool = True) -> float:
-        err = float(np.linalg.norm(a - self.approximation(), ord=2))
+        err = hostmath.norm2(a - self.approximation())
         if relative:
-            na = float(np.linalg.norm(a, ord=2))
+            na = hostmath.norm2(a)
             return err / na if na > 0 else err
         return err
 
@@ -77,8 +78,8 @@ def _core_factor(c: np.ndarray, a_np: np.ndarray,
                  r: np.ndarray) -> np.ndarray:
     """The least-squares-optimal core ``U = C^+ A R^+`` via two solves:
     ``X = C^+ A`` (k x n), then ``U = X R^+ = (R^+^T X^T)^T``."""
-    x, *_ = np.linalg.lstsq(c, a_np, rcond=None)
-    u_t, *_ = np.linalg.lstsq(r.T, x.T, rcond=None)
+    x = hostmath.lstsq(c, a_np)
+    u_t = hostmath.lstsq(r.T, x.T)
     return u_t.T
 
 
@@ -123,7 +124,8 @@ def cur_decomposition(a: ArrayLike, config: SamplingConfig,
             "cur_decomposition needs numerical data")
     if config.rank > min(m, n):
         raise ShapeError(f"rank {config.rank} exceeds min(m, n)")
-    ex = executor if executor is not None else NumpyExecutor(seed=config.seed)
+    ex = executor if executor is not None else NumpyExecutor(
+        seed=config.seed, backend=config.backend)
     ex.bind(a)
 
     cols = _select_pivots(ex, a, config)

@@ -74,7 +74,8 @@ def random_sampling(a: ArrayLike, config: SamplingConfig,
     config.validate_for(m, n)
     if check_finite:
         ensure_all_finite(a, "a")
-    ex = executor if executor is not None else NumpyExecutor(seed=config.seed)
+    ex = executor if executor is not None else NumpyExecutor(
+        seed=config.seed, backend=config.backend)
     ex.bind(a)
 
     l = config.sample_size

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.annotations import allow_untimed_math
+from ..backends import hostmath
 from ..errors import ShapeError
 from ..qr.utils import as_2d_float
 
@@ -26,7 +27,7 @@ def _orthonormal_basis(x: np.ndarray, rows: bool) -> np.ndarray:
     """Column-orthonormal basis of the span of ``x`` (rows or columns)."""
     x = as_2d_float(x, "x")
     mat = x.T if rows else x
-    q, _ = np.linalg.qr(mat)
+    q, _ = hostmath.qr(mat)
     return q
 
 
@@ -45,7 +46,7 @@ def principal_angles(u: np.ndarray, v: np.ndarray,
     if qu.shape[0] != qv.shape[0]:
         raise ShapeError(
             f"ambient dimension mismatch: {qu.shape[0]} vs {qv.shape[0]}")
-    s = np.linalg.svd(qu.T @ qv, compute_uv=False)
+    s = hostmath.svdvals(qu.T @ qv)
     s = np.clip(s, 0.0, 1.0)
     k = min(qu.shape[1], qv.shape[1])
     return np.sort(np.arccos(s[:k]))
@@ -78,7 +79,7 @@ def captured_energy(a: np.ndarray, basis: np.ndarray,
         proj = (a @ q) @ q.T
     else:
         proj = q @ (q.T @ a)
-    total = float(np.linalg.norm(a, "fro") ** 2)
+    total = float(hostmath.norm(a, ord="fro") ** 2)
     if total == 0.0:
         return 1.0
-    return float(np.linalg.norm(proj, "fro") ** 2) / total
+    return float(hostmath.norm(proj, ord="fro") ** 2) / total

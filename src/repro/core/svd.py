@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.annotations import allow_untimed_math
+from ..backends import hostmath
 from ..config import SamplingConfig
 from ..errors import ShapeError, SymbolicExecutionError
 from ..qr.utils import ensure_all_finite
@@ -67,9 +68,9 @@ class RandomizedSVD:
     @allow_untimed_math("host-side diagnostic (Figure 6 error norm)")
     def residual(self, a: np.ndarray, relative: bool = True) -> float:
         """Spectral-norm approximation error."""
-        err = float(np.linalg.norm(a - self.approximation(), ord=2))
+        err = hostmath.norm2(a - self.approximation())
         if relative:
-            na = float(np.linalg.norm(a, ord=2))
+            na = hostmath.norm2(a)
             return err / na if na > 0 else err
         return err
 
@@ -102,7 +103,8 @@ def randomized_svd(a: ArrayLike, config: SamplingConfig,
         raise SymbolicExecutionError(
             "randomized_svd needs numerical data (the small SVD is "
             "value-dependent); use random_sampling for timing sweeps")
-    ex = executor if executor is not None else NumpyExecutor(seed=config.seed)
+    ex = executor if executor is not None else NumpyExecutor(
+        seed=config.seed, backend=config.backend)
     ex.bind(a)
     l, k = config.sample_size, config.rank
 

@@ -4,7 +4,7 @@ Algorithms in :mod:`repro.core` are written once against the
 :class:`NumpyExecutor` operation set.  Executors differ only in what
 they *charge* for each operation:
 
-- :class:`NumpyExecutor` — plain NumPy math, zero modeled time.  Used
+- :class:`NumpyExecutor` — backend math, zero modeled time.  Used
   for numerics (Figure 6/16) and tests.
 - :class:`GPUExecutor` — same math, but every operation also charges
   the :class:`SimulatedGPU`'s kernel model, tagged with the paper's
@@ -13,6 +13,13 @@ they *charge* for each operation:
   allocate the matrices.
 - :class:`repro.gpu.multigpu.MultiGPUExecutor` — models the 1D
   block-row multi-GPU runtime of Figure 4.
+
+Since the backend split, no executor calls dense linear algebra
+directly: every factorization/FFT/norm goes through the executor's
+:class:`repro.backends.base.ComputeBackend` handle (``self.backend``),
+so ``NumpyExecutor(backend="torch")`` runs the identical pipeline on
+real hardware.  The default is the bit-reproducible ``simulated``
+backend; see ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backends import resolve_backend
 from ..config import ORTH_SCHEMES
 from ..errors import (ConfigurationError, ShapeError,
                       SymbolicExecutionError)
@@ -114,12 +122,16 @@ def shape_of(a: ArrayLike) -> Tuple[int, ...]:
     return tuple(a.shape)
 
 
-def _mm(a: ArrayLike, b: ArrayLike) -> ArrayLike:
-    """Matrix product, symbolic-aware."""
+def _mm(a: ArrayLike, b: ArrayLike, backend=None) -> ArrayLike:
+    """Matrix product, symbolic-aware; real data runs on ``backend``
+    (a :class:`repro.backends.base.ComputeBackend`) when one is given,
+    else on the host BLAS directly."""
     if shape_of(a)[1] != shape_of(b)[0]:
         raise ShapeError(f"matmul mismatch: {shape_of(a)} @ {shape_of(b)}")
     if is_symbolic(a, b):
         return SymArray((shape_of(a)[0], shape_of(b)[1]))
+    if backend is not None:
+        return backend.gemm(a, b)
     return a @ b
 
 
@@ -203,13 +215,20 @@ class NumpyExecutor:
 
     All ``_t_*`` timing hooks are no-ops; subclasses charge devices.
     The RNG lives on the executor so runs are reproducible end to end.
+
+    ``backend`` selects the math engine — ``None`` (session default),
+    a registry name like ``"numpy"``/``"torch"``, or a live
+    :class:`repro.backends.base.ComputeBackend`.  The RNG is built by
+    the backend but is numpy PCG64 on every engine, so one seed gives
+    the same sampling matrix everywhere.
     """
 
     #: Executors that cannot run symbolic arrays set this False.
     supports_symbolic = False
 
-    def __init__(self, seed: Optional[int] = None):
-        self.rng = np.random.default_rng(seed)
+    def __init__(self, seed: Optional[int] = None, backend=None):
+        self.backend = resolve_backend(backend)
+        self.rng = self.backend.make_rng(seed)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -257,14 +276,14 @@ class NumpyExecutor:
                 raise SymbolicExecutionError(
                     "this executor does not support symbolic arrays")
             return SymArray((rows, cols))
-        return self.rng.standard_normal((rows, cols))
+        return self.backend.standard_normal(self.rng, (rows, cols))
 
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Step 1 pruned Gaussian sampling ``B = Omega A``."""
         l, m = shape_of(omega)
         n = shape_of(a)[1]
         self._t_gemm(l, n, m, phase="sampling")
-        return _mm(omega, a)
+        return _mm(omega, a, self.backend)
 
     def fft_sample(self, a: ArrayLike, l: int, axis: str = "row",
                    ) -> ArrayLike:
@@ -295,7 +314,7 @@ class NumpyExecutor:
         d = target.shape[0]
         mp = 1 << max(1, (int(d) - 1).bit_length())
         signs = self.rng.choice([-1.0, 1.0], size=d)
-        spectrum = np.fft.fft(target * signs[:, None], n=mp, axis=0)
+        spectrum = self.backend.fft(target * signs[:, None], n=mp, axis=0)
         spectrum /= np.sqrt(mp)
         rows = self.rng.choice(mp, size=l, replace=False)
         picked = spectrum[rows, :]
@@ -308,14 +327,14 @@ class NumpyExecutor:
         l, n = shape_of(b)
         m = shape_of(a)[0]
         self._t_gemm(l, m, n, phase="gemm_iter")
-        return _mm(b, a.T)
+        return _mm(b, a.T, self.backend)
 
     def iter_gemm_a(self, c: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Power-iteration product ``B = C A``  (line 12 of Fig. 2a)."""
         l, m = shape_of(c)
         n = shape_of(a)[1]
         self._t_gemm(l, n, m, phase="gemm_iter")
-        return _mm(c, a)
+        return _mm(c, a, self.backend)
 
     def orth_rows(self, b: ArrayLike, scheme: str = "cholqr2",
                   phase: str = "orth_iter") -> ArrayLike:
@@ -340,11 +359,14 @@ class NumpyExecutor:
             # Householder fallback: a rank-deficient block (subspace
             # exhaustion in the adaptive scheme) breaks the shifted
             # retry but HHQR still returns an exactly orthonormal Q.
-            q, _ = (cholqr.cholqr2_rows(b, fallback="householder") if reorth
-                    else cholqr.cholqr_rows(b, fallback="householder"))
+            q, _ = (cholqr.cholqr2_rows(b, fallback="householder",
+                                        backend=self.backend) if reorth
+                    else cholqr.cholqr_rows(b, fallback="householder",
+                                            backend=self.backend))
             return q
         if scheme == "mixed_cholqr":
-            q, _ = cholqr.mixed_precision_cholqr_rows(b)
+            q, _ = cholqr.mixed_precision_cholqr_rows(
+                b, backend=self.backend)
             return q
         if scheme == "householder":
             f = householder.householder_qr(b.T)
@@ -416,9 +438,11 @@ class NumpyExecutor:
         if is_symbolic(ap):
             return SymArray((m, k)), SymArray((k, k))
         if scheme in ("cholqr", "cholqr2"):
-            return (cholqr.cholqr2_columns(np.asarray(ap)) if reorth
+            return (cholqr.cholqr2_columns(np.asarray(ap),
+                                           backend=self.backend) if reorth
                     else cholqr.cholqr_columns(np.asarray(ap),
-                                               fallback="shift"))
+                                               fallback="shift",
+                                               backend=self.backend))
         if scheme == "householder":
             f = householder.householder_qr(np.asarray(ap))
             return f.q(), f.r()
@@ -436,7 +460,8 @@ class NumpyExecutor:
         self._t_trsolve(k, ncols, phase)
         if is_symbolic(r11, r12):
             return SymArray((k, ncols))
-        return solve_upper_triangular(np.asarray(r11), np.asarray(r12))
+        return solve_upper_triangular(np.asarray(r11), np.asarray(r12),
+                                      backend=self.backend)
 
     def assemble_r(self, rbar: ArrayLike, t: ArrayLike,
                    phase: str = "other") -> ArrayLike:
@@ -448,7 +473,7 @@ class NumpyExecutor:
         if is_symbolic(rbar, t):
             return SymArray((k, k + nt))
         rbar = np.asarray(rbar)
-        return np.hstack([rbar, rbar @ np.asarray(t)])
+        return np.hstack([rbar, self.backend.gemm(rbar, np.asarray(t))])
 
     def estimate_error(self, b_new: ArrayLike, q_prev: ArrayLike,
                        phase: str = "other") -> float:
@@ -467,9 +492,9 @@ class NumpyExecutor:
             raise SymbolicExecutionError(
                 "error estimates require real data; run the adaptive "
                 "scheme with a concrete matrix")
-        proj = b_new @ q_prev.T
-        resid = b_new - proj @ q_prev
-        return float(np.linalg.norm(resid, ord=2))
+        proj = self.backend.gemm(b_new, q_prev.T)
+        resid = b_new - self.backend.gemm(proj, q_prev)
+        return self.backend.norm(resid, ord=2)
 
     def vstack(self, parts: Sequence[ArrayLike]) -> ArrayLike:
         """Stack sampled blocks (subspace growth in the adaptive loop)."""
@@ -483,7 +508,7 @@ class NumpyExecutor:
         m, k = shape_of(x)
         n = shape_of(y)[1]
         self._t_gemm(m, n, k, phase=phase)
-        return _mm(x, y)
+        return _mm(x, y, self.backend)
 
     def svd_small(self, r: ArrayLike, phase: str = "other"
                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -496,7 +521,7 @@ class NumpyExecutor:
             raise SymbolicExecutionError(
                 "the small SVD is value-dependent; run with a concrete "
                 "matrix")
-        return np.linalg.svd(np.asarray(r), full_matrices=False)
+        return self.backend.svd(np.asarray(r), full_matrices=False)
 
     def row_norms(self, x: ArrayLike,
                   phase: str = "orth_iter") -> np.ndarray:
@@ -509,7 +534,7 @@ class NumpyExecutor:
             raise SymbolicExecutionError(
                 "row norms are value-dependent; run with a concrete "
                 "matrix")
-        return np.linalg.norm(np.asarray(x), axis=1)
+        return self.backend.row_norms(np.asarray(x))
 
 
 class GPUExecutor(NumpyExecutor):
@@ -519,8 +544,9 @@ class GPUExecutor(NumpyExecutor):
 
     def __init__(self, spec: GPUSpec = KEPLER_K40C,
                  seed: Optional[int] = None,
-                 device: Optional[SimulatedGPU] = None):
-        super().__init__(seed=seed)
+                 device: Optional[SimulatedGPU] = None,
+                 backend=None):
+        super().__init__(seed=seed, backend=backend)
         self.device = device if device is not None else SimulatedGPU(spec)
         self.kernels = self.device.kernels
 

@@ -91,13 +91,14 @@ class MultiGPUExecutor(GPUExecutor):
                  cpu: CPUSpec = CPUSpec(),
                  seed: Optional[int] = None,
                  overlap: bool = True,
-                 pipeline_chunks: int = 4):
+                 pipeline_chunks: int = 4,
+                 backend=None):
         if ng < 1:
             raise ConfigurationError(f"ng must be >= 1, got {ng}")
         if pipeline_chunks < 1:
             raise ConfigurationError(
                 f"pipeline_chunks must be >= 1, got {pipeline_chunks}")
-        super().__init__(spec=spec, seed=seed)
+        super().__init__(spec=spec, seed=seed, backend=backend)
         self.ng = ng
         self.cpu = cpu
         self.overlap = bool(overlap)
@@ -230,7 +231,7 @@ class MultiGPUExecutor(GPUExecutor):
                          writes=["Omega"])
         if symbolic:
             return SymArray((rows, cols))
-        return self.rng.standard_normal((rows, cols))
+        return self.backend.standard_normal(self.rng, (rows, cols))
 
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = Omega_(i) A_(i)`` locally, then CPU accumulation;
@@ -247,7 +248,7 @@ class MultiGPUExecutor(GPUExecutor):
                                                   l * n),
                          reads=["Omega", "A"])
         self._reduce_b(l, n)
-        return _mm(omega, a)
+        return _mm(omega, a, self.backend)
 
     def _reduce_b(self, l: int, n: int) -> None:
         """Gather ng partial l x n blocks to the CPU and sum them.
@@ -312,7 +313,7 @@ class MultiGPUExecutor(GPUExecutor):
                                                   l * c),
                          reads=[f"B@g{d}" for d in range(self.ng)] + ["A"],
                          writes=["C"])
-        return _mm(b, a.T)
+        return _mm(b, a.T, self.backend)
 
     def iter_gemm_a(self, c_mat: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = C_(i) A_(i)`` locally, then CPU accumulation."""
@@ -330,7 +331,7 @@ class MultiGPUExecutor(GPUExecutor):
                                                   l * n),
                          reads=["C", "A"])
         self._reduce_b(l, n)
-        return _mm(c_mat, a)
+        return _mm(c_mat, a, self.backend)
 
     def _t_orth(self, rows: int, cols: int, scheme: str, reorth: bool,
                 phase: str) -> None:

@@ -27,6 +27,15 @@ exactly once, so the per-phase breakdown is identical under
 mirrored onto the other devices' streams as *unaccounted* spans so the
 Chrome-trace export shows every device's occupancy without double
 counting.
+
+The scheduler operates purely on the *modeled* clock: placements are
+derived from shapes and the kernel rate models, never from which
+:mod:`repro.backends` compute engine executes the arithmetic, so
+schedules (and fig15 totals) are identical under every ``--backend``.
+Missing ``deps=`` edges are caught two ways: statically by lints
+RS109-RS112 and dynamically by the happens-before race sanitizer
+(:mod:`repro.analysis.races`); see ``docs/performance.md`` for the
+scheduling model and ``docs/static_analysis.md`` for the checkers.
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..config import SamplingConfig
+from ..backends import hostmath
 from ..core.svd import randomized_svd
 from ..errors import ShapeError
 from ..gpu.device import NumpyExecutor
@@ -85,7 +86,7 @@ def _compress_block(block: np.ndarray, rank: int,
     m, n = block.shape
     r = min(rank, m, n)
     if r >= min(m, n) or min(m, n) <= 2 * config.oversampling:
-        u, s, vt = np.linalg.svd(block, full_matrices=False)
+        u, s, vt = hostmath.svd(block, full_matrices=False)
         return u[:, :r] * s[:r], vt[:r, :]
     cfg = SamplingConfig(rank=r,
                          oversampling=min(config.oversampling,
@@ -125,7 +126,7 @@ def _matvec(node: _Node, x: np.ndarray) -> np.ndarray:
 def _solve(node: _Node, b: np.ndarray) -> np.ndarray:
     """Recursive HODLR solve with multiple right-hand sides."""
     if node.is_leaf:
-        return np.linalg.solve(node.dense, b)
+        return hostmath.solve(node.dense, b)
     h = node.left.n
     r1 = node.u1.shape[1]
     r2 = node.u2.shape[1]
@@ -141,7 +142,7 @@ def _solve(node: _Node, b: np.ndarray) -> np.ndarray:
     cap = np.eye(r1 + r2)
     cap[:r1, r1:] += node.v2t @ w2
     cap[r1:, :r1] += node.v1t @ w1
-    z = np.linalg.solve(cap, vy)
+    z = hostmath.solve(cap, vy)
     x1 = y1 - w1 @ z[:r1]
     x2 = y2 - w2 @ z[r1:]
     return np.vstack([x1, x2])

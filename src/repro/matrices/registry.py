@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..backends import hostmath
 from . import synthetic
 from .hapmap_like import hapmap_like_matrix
 from .synthetic import RngLike
@@ -190,7 +191,7 @@ def table1_row(a: np.ndarray, k: int = 50) -> Dict[str, float]:
     ``kappa`` = sigma_0 / sigma_{k+1}, the effective condition number
     the paper reports (the ratio across the truncation point).
     """
-    s = np.linalg.svd(a, compute_uv=False)
+    s = hostmath.svdvals(a)
     if k + 1 >= s.size:
         raise ConfigurationError(
             f"k = {k} too large for matrix with min dim {s.size}")

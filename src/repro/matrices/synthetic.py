@@ -17,6 +17,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..errors import ShapeError
+from ..backends import hostmath
 
 __all__ = [
     "random_orthonormal",
@@ -59,7 +60,7 @@ def random_orthonormal(m: int, n: int, seed: RngLike = None,
                          f"({m}, {n})")
     rng = _as_generator(seed)
     g = rng.standard_normal((m, n)).astype(dtype, copy=False)
-    q, r = np.linalg.qr(g)
+    q, r = hostmath.qr(g)
     # Fix the sign ambiguity so the distribution is exactly Haar.
     d = np.sign(np.diag(r))
     d[d == 0] = 1.0

@@ -5,9 +5,11 @@ One artifact holds one or more *figures*; each figure holds *points*
 keyed by their parameter assignment::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "repro-bench",
       "label": "fig11" | "smoke" | ...,
+      "backend": "simulated",
+      "wall_clock_s": 0.041,
       "figures": {
         "fig11": {
           "points": [
@@ -33,11 +35,25 @@ independently, so both layouts diff cleanly.  Benches publish their
 reproduced series with :func:`attach_series`, which both records them
 on ``benchmark.extra_info`` (so pytest-benchmark JSON keeps them) and
 registers them for the session-level artifact the CI jobs upload.
+
+Schema history
+--------------
+- **v2** (current): adds the top-level ``backend`` (compute-backend
+  registry name that executed the math) and ``wall_clock_s`` (real
+  host/device seconds spent inside backend kernels) fields, recorded
+  alongside the modeled totals.
+- **v1**: modeled data only.
+
+Readers accept every version in :data:`SUPPORTED_SCHEMA_VERSIONS`;
+:func:`load_artifact` and ``repro-bench obs diff`` handle v1 and v2
+artifacts interchangeably (the v2 fields simply read as absent on v1
+documents), so a perf gate can compare across the version bump.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -46,14 +62,17 @@ from ..errors import ConfigurationError
 from ..gpu.trace import PHASES
 
 __all__ = [
-    "SCHEMA_VERSION", "ARTIFACT_KIND", "to_jsonable", "point",
+    "SCHEMA_VERSION", "SUPPORTED_SCHEMA_VERSIONS", "ARTIFACT_KIND",
+    "to_jsonable", "point",
     "points_from_breakdown", "points_from_series", "figure_record",
     "build_artifact", "write_artifact", "load_artifact",
     "validate_artifact", "point_key", "attach_series", "reset_attached",
     "attached_records", "write_attached",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: Versions readers accept; writers always emit :data:`SCHEMA_VERSION`.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 ARTIFACT_KIND = "repro-bench"
 
 #: Parameter keys recognized in the breakdown-point dicts produced by
@@ -184,11 +203,17 @@ def figure_record(figure: str,
     return record
 
 
-def build_artifact(records: Sequence[Mapping], label: str = "run") -> Dict:
+def build_artifact(records: Sequence[Mapping], label: str = "run",
+                   backend: Optional[str] = None,
+                   wall_clock_s: Optional[float] = None) -> Dict:
     """Assemble figure records into one artifact document.
 
     Records for the same figure merge: points are deduplicated by
     parameter key (later records win), figure metrics are merged.
+    ``backend`` names the compute backend that produced the numbers
+    (defaults to the session default's name) and ``wall_clock_s``
+    records the real seconds its kernels took — the v2 fields that sit
+    next to the modeled totals.
     """
     figures: Dict[str, Dict] = {}
     for record in records:
@@ -206,8 +231,13 @@ def build_artifact(records: Sequence[Mapping], label: str = "run") -> Dict:
             del entry["metrics"]
         if not entry["meta"]:
             del entry["meta"]
+    if backend is None:
+        from ..backends import default_backend_name
+        backend = default_backend_name()
     return {"schema_version": SCHEMA_VERSION, "kind": ARTIFACT_KIND,
-            "label": str(label), "figures": figures}
+            "label": str(label), "backend": str(backend),
+            "wall_clock_s": float(wall_clock_s or 0.0),
+            "figures": figures}
 
 
 def point_key(p: Mapping) -> str:
@@ -240,10 +270,19 @@ def validate_artifact(doc: Any, source: str = "artifact") -> None:
     if not isinstance(doc, Mapping):
         raise ConfigurationError(f"{source}: not a JSON object")
     version = doc.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ConfigurationError(
-            f"{source}: schema_version {version!r} is not the supported "
-            f"{SCHEMA_VERSION}")
+            f"{source}: schema_version {version!r} is not supported "
+            f"(accepted: {SUPPORTED_SCHEMA_VERSIONS})")
+    if version >= 2:
+        if not isinstance(doc.get("backend"), str):
+            raise ConfigurationError(
+                f"{source}: schema v{version} requires a string "
+                f"'backend' field")
+        if not isinstance(doc.get("wall_clock_s"), (int, float)):
+            raise ConfigurationError(
+                f"{source}: schema v{version} requires a numeric "
+                f"'wall_clock_s' field")
     if doc.get("kind") != ARTIFACT_KIND:
         raise ConfigurationError(
             f"{source}: kind {doc.get('kind')!r} is not {ARTIFACT_KIND!r}")
@@ -316,8 +355,14 @@ def attach_series(benchmark, figure: str, *,
     return record
 
 
+#: perf_counter at the last reset; write_attached reports the session
+#: wall-clock (attach-to-write) in the artifact's ``wall_clock_s``.
+_SESSION_T0: List[float] = []
+
+
 def reset_attached() -> None:
     _ATTACHED.clear()
+    _SESSION_T0[:] = [time.perf_counter()]
 
 
 def attached_records() -> List[Dict]:
@@ -328,6 +373,7 @@ def write_attached(path: str, label: str = "session") -> Optional[Dict]:
     """Write every record attached this session to one artifact."""
     if not _ATTACHED:
         return None
-    doc = build_artifact(_ATTACHED, label=label)
+    wall = (time.perf_counter() - _SESSION_T0[0]) if _SESSION_T0 else 0.0
+    doc = build_artifact(_ATTACHED, label=label, wall_clock_s=wall)
     write_artifact(path, doc)
     return doc

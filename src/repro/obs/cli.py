@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "Perfetto)")
     run.add_argument("--label", default=None,
                      help="artifact label (default: the figure name)")
+    run.add_argument("--backend", metavar="NAME", default=None,
+                     help="compute backend for the run (simulated, "
+                          "numpy, torch, cupy, or auto); defaults to "
+                          "$REPRO_BACKEND or 'simulated'.  Recorded in "
+                          "the artifact's schema-v2 backend field")
     run.add_argument("--overlap", choices=("on", "off"), default="on",
                      help="multi-GPU stream schedule for the --trace "
                           "run: 'on' pipelines compute against comms "
@@ -105,6 +110,14 @@ def _cmd_run(args) -> int:
         print("obs run: --race-report requires --race-check",
               file=sys.stderr)
         return EXIT_ERROR
+    if args.backend:
+        # Resolve eagerly for a clean error, then export for every
+        # executor the figure sweep constructs downstream.
+        import os
+
+        from ..backends import make_backend
+        make_backend(args.backend)
+        os.environ["REPRO_BACKEND"] = args.backend
     races_found = 0
     if args.race_check:
         from ..analysis.races import render_report, write_report
@@ -127,9 +140,12 @@ def _cmd_run(args) -> int:
               f"{timing.peak_memory_bytes / 1e9:.2f} GB]")
     if args.bench:
         doc = write_figure_artifact(args.bench, args.figure,
-                                    label=args.label)
+                                    label=args.label,
+                                    backend=args.backend)
         npts = len(doc["figures"][args.figure]["points"])
-        print(f"[wrote {args.bench}: {npts} points]")
+        print(f"[wrote {args.bench}: {npts} points, "
+              f"backend={doc['backend']}, "
+              f"wall_clock_s={doc['wall_clock_s']:.3f}]")
     return EXIT_REGRESSION if races_found else EXIT_OK
 
 

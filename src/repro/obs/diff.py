@@ -23,7 +23,7 @@ reported for information only — the gate is on modeled time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from ..errors import ConfigurationError
@@ -64,6 +64,9 @@ class DiffEntry:
 @dataclass
 class DiffResult:
     entries: List[DiffEntry]
+    #: Informational context lines (schema-version or backend skew
+    #: between the two artifacts); never gate the result.
+    notes: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[DiffEntry]:
@@ -113,6 +116,19 @@ def diff_artifacts(base: Mapping, new: Mapping,
     validate_artifact(base, source="baseline artifact")
     validate_artifact(new, source="new artifact")
 
+    # Cross-version and cross-backend comparisons are legal — v1
+    # artifacts simply have no backend/wall-clock fields, and modeled
+    # times are backend-independent — but worth surfacing.
+    notes: List[str] = []
+    bv, nv = base.get("schema_version"), new.get("schema_version")
+    if bv != nv:
+        notes.append(f"comparing schema v{bv} baseline against v{nv}")
+    bb, nb = base.get("backend"), new.get("backend")
+    if bb != nb and not (bb is None and nb is None):
+        notes.append(f"backends differ: baseline={bb or 'n/a'} "
+                     f"new={nb or 'n/a'} (modeled times are "
+                     f"backend-independent; wall clock is not)")
+
     entries: List[DiffEntry] = []
     base_figures: Dict = base["figures"]
     new_figures: Dict = new["figures"]
@@ -131,7 +147,7 @@ def diff_artifacts(base: Mapping, new: Mapping,
                                          0.0, 0.0, "missing"))
                 continue
             entries.extend(_diff_point(fig, key, bp, np_, tol, floor))
-    return DiffResult(entries)
+    return DiffResult(entries, notes=notes)
 
 
 def _diff_point(fig: str, key: str, base_point: Mapping,
@@ -190,6 +206,8 @@ def render_diff(result: DiffResult, tol: float = DEFAULT_TOLERANCE,
             ["status", "figure", "point", "field", "baseline", "new",
              "rel"], rows,
             title=f"BENCH diff (tolerance {tol:.2%})"))
+    for note in result.notes:
+        lines.append(f"[obs diff note: {note}]")
     regress = len(result.regressions)
     drift = sum(e.status == "drift" for e in result.entries)
     improve = sum(e.status == "improvement" for e in result.entries)

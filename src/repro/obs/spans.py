@@ -130,6 +130,32 @@ class SpanRecorder:
         #: Full :meth:`repro.analysis.races.RaceChecker.report` document
         #: of the run, set by the bench harness under ``race_check``.
         self.race_report: Optional[Dict] = None
+        #: Registry name of the compute backend that ran the math
+        #: (set by :meth:`note_backend`; None until a backend reports).
+        self.backend_name: Optional[str] = None
+        #: True when the backend feeds the modeled clock (figures must
+        #: be bit-reproducible).
+        self.backend_is_model: bool = True
+        #: The watched backend, polled for real wall-clock at readout.
+        self._backend = None
+
+    def note_backend(self, backend) -> None:
+        """Register the :class:`repro.backends.base.ComputeBackend`
+        whose kernels back this run.  The backend's name travels into
+        BENCH artifacts, and its ``stats.wall_seconds`` — the *real*
+        host/device wall-clock — is surfaced via
+        :attr:`backend_wall_seconds` next to the modeled totals."""
+        self._backend = backend
+        self.backend_name = getattr(backend, "name", None)
+        self.backend_is_model = bool(getattr(backend, "is_model", True))
+
+    @property
+    def backend_wall_seconds(self) -> float:
+        """Real seconds the backend spent inside kernels (0.0 when no
+        backend was registered, e.g. purely symbolic runs)."""
+        if self._backend is None:
+            return 0.0
+        return float(self._backend.stats.wall_seconds)
 
     def record_race(self, race: Dict) -> None:
         """Mirror one detected race (called by the stream scheduler)."""

@@ -28,11 +28,12 @@ experiments in Sections 6-10 use.  We additionally provide:
 
 from __future__ import annotations
 
-from typing import Literal, Tuple
+from typing import Literal, Optional, Tuple
 
 import numpy as np
-import scipy.linalg
 
+from ..backends import resolve_backend
+from ..backends.base import ComputeBackend
 from ..errors import CholeskyBreakdownError, ShapeError
 from .utils import as_2d_float
 
@@ -46,17 +47,11 @@ __all__ = [
 
 Fallback = Literal["raise", "shift", "householder"]
 
-
-def _chol_upper(g: np.ndarray) -> np.ndarray:
-    """Upper Cholesky factor of a symmetric PSD matrix, or raise
-    :class:`CholeskyBreakdownError`."""
-    try:
-        return scipy.linalg.cholesky(g, lower=False)
-    except scipy.linalg.LinAlgError as exc:
-        raise CholeskyBreakdownError(str(exc)) from exc
+BackendSpec = Optional[ComputeBackend]
 
 
-def _shifted_chol_upper(g: np.ndarray) -> np.ndarray:
+def _shifted_chol_upper(g: np.ndarray,
+                        backend: ComputeBackend) -> np.ndarray:
     """Cholesky with an escalating diagonal shift.
 
     The shift follows Fukaya et al.'s shifted-CholQR recipe: start at
@@ -64,7 +59,7 @@ def _shifted_chol_upper(g: np.ndarray) -> np.ndarray:
     The resulting Q is only approximately orthogonal and *must* be
     reorthogonalized by the caller.
     """
-    norm = float(np.linalg.norm(g, ord=2))
+    norm = backend.norm(g, ord=2)
     if norm == 0.0:
         raise CholeskyBreakdownError("Gram matrix is zero")
     eps = np.finfo(g.dtype).eps
@@ -72,14 +67,15 @@ def _shifted_chol_upper(g: np.ndarray) -> np.ndarray:
     eye = np.eye(g.shape[0], dtype=g.dtype)
     for _ in range(30):
         try:
-            return scipy.linalg.cholesky(g + shift * eye, lower=False)
-        except scipy.linalg.LinAlgError:
+            return backend.cholesky(g + shift * eye)
+        except CholeskyBreakdownError:
             shift *= 10.0
     raise CholeskyBreakdownError(
         "shifted Cholesky failed even with a large shift")
 
 
-def cholqr_columns(b: np.ndarray, fallback: Fallback = "raise"
+def cholqr_columns(b: np.ndarray, fallback: Fallback = "raise",
+                   backend: BackendSpec = None
                    ) -> Tuple[np.ndarray, np.ndarray]:
     """CholQR of a tall-skinny matrix: ``B = Q R`` with orthonormal
     columns of ``Q``.
@@ -94,6 +90,9 @@ def cholqr_columns(b: np.ndarray, fallback: Fallback = "raise"
         :class:`repro.errors.CholeskyBreakdownError`), ``"shift"``
         (shifted Cholesky followed by one reorthogonalization), or
         ``"householder"`` (defer to the unconditionally stable HHQR).
+    backend:
+        A :class:`repro.backends.base.ComputeBackend` (or ``None`` for
+        the session default) that runs the SYRK/POTRF/TRSM kernels.
 
     Returns
     -------
@@ -102,13 +101,14 @@ def cholqr_columns(b: np.ndarray, fallback: Fallback = "raise"
         triangular with ``B = Q R``.
     """
     b = as_2d_float(b, "b")
+    bk = resolve_backend(backend)
     m, k = b.shape
     if m < k:
         raise ShapeError(f"cholqr_columns needs m >= k, got {b.shape}; "
                          "use cholqr_rows for short-wide inputs")
-    g = b.T @ b
+    g = bk.gemm(b.T, b)
     try:
-        r = _chol_upper(g)
+        r = bk.cholesky(g)
     except CholeskyBreakdownError:
         if fallback == "raise":
             raise
@@ -116,18 +116,18 @@ def cholqr_columns(b: np.ndarray, fallback: Fallback = "raise"
             from .householder import householder_qr
             f = householder_qr(b)
             return f.q(), f.r()
-        r1 = _shifted_chol_upper(g)
-        q1 = scipy.linalg.solve_triangular(r1, b.T, lower=False,
-                                           trans="T").T
+        r1 = _shifted_chol_upper(g, bk)
+        q1 = bk.solve_triangular(r1, b.T, lower=False, trans="T").T
         # The cleanup pass can itself break down for severely deficient
         # input; terminate in the unconditionally stable HHQR.
-        q2, r2 = cholqr_columns(q1, fallback="householder")
-        return q2, r2 @ r1
-    q = scipy.linalg.solve_triangular(r, b.T, lower=False, trans="T").T
+        q2, r2 = cholqr_columns(q1, fallback="householder", backend=bk)
+        return q2, bk.gemm(r2, r1)
+    q = bk.solve_triangular(r, b.T, lower=False, trans="T").T
     return q, r
 
 
-def cholqr_rows(b: np.ndarray, fallback: Fallback = "raise"
+def cholqr_rows(b: np.ndarray, fallback: Fallback = "raise",
+                backend: BackendSpec = None
                 ) -> Tuple[np.ndarray, np.ndarray]:
     """CholQR adapted to short-wide matrices (the paper's footnote 3).
 
@@ -139,13 +139,14 @@ def cholqr_rows(b: np.ndarray, fallback: Fallback = "raise"
     (Cholesky), ``Q = R^{-T} B`` (triangular solve).
     """
     b = as_2d_float(b, "b")
+    bk = resolve_backend(backend)
     l, n = b.shape
     if l > n:
         raise ShapeError(f"cholqr_rows needs l <= n, got {b.shape}; "
                          "use cholqr_columns for tall-skinny inputs")
-    g = b @ b.T
+    g = bk.gemm(b, b.T)
     try:
-        r = _chol_upper(g)
+        r = bk.cholesky(g)
     except CholeskyBreakdownError:
         if fallback == "raise":
             raise
@@ -155,16 +156,17 @@ def cholqr_rows(b: np.ndarray, fallback: Fallback = "raise"
             # is R_c itself (upper triangular), Q the transposed Q_c.
             f = householder_qr(b.T)
             return f.q().T, f.r()[:, :l].copy()
-        r1 = _shifted_chol_upper(g)
-        q1 = scipy.linalg.solve_triangular(r1, b, lower=False, trans="T")
-        q2, r2 = cholqr_rows(q1, fallback="householder")
+        r1 = _shifted_chol_upper(g, bk)
+        q1 = bk.solve_triangular(r1, b, lower=False, trans="T")
+        q2, r2 = cholqr_rows(q1, fallback="householder", backend=bk)
         # B = r1^T q1 and q1 = r2^T q2  =>  B = (r2 r1)^T q2.
-        return q2, r2 @ r1
-    q = scipy.linalg.solve_triangular(r, b, lower=False, trans="T")
+        return q2, bk.gemm(r2, r1)
+    q = bk.solve_triangular(r, b, lower=False, trans="T")
     return q, r
 
 
-def cholqr2_columns(b: np.ndarray, fallback: Fallback = "shift"
+def cholqr2_columns(b: np.ndarray, fallback: Fallback = "shift",
+                    backend: BackendSpec = None
                     ) -> Tuple[np.ndarray, np.ndarray]:
     """CholQR with one full reorthogonalization (tall-skinny columns).
 
@@ -173,22 +175,26 @@ def cholqr2_columns(b: np.ndarray, fallback: Fallback = "shift"
     with one full reorthogonalization", Section 6).  Orthogonality of
     the result is ``O(eps)`` whenever ``kappa(B) <~ eps^{-1/2}``.
     """
-    q1, r1 = cholqr_columns(b, fallback=fallback)
-    q2, r2 = cholqr_columns(q1, fallback=fallback)
-    return q2, r2 @ r1
+    bk = resolve_backend(backend)
+    q1, r1 = cholqr_columns(b, fallback=fallback, backend=bk)
+    q2, r2 = cholqr_columns(q1, fallback=fallback, backend=bk)
+    return q2, bk.gemm(r2, r1)
 
 
-def cholqr2_rows(b: np.ndarray, fallback: Fallback = "shift"
+def cholqr2_rows(b: np.ndarray, fallback: Fallback = "shift",
+                 backend: BackendSpec = None
                  ) -> Tuple[np.ndarray, np.ndarray]:
     """CholQR2 for short-wide rows: ``B = R^T Q``, two CholQR passes."""
-    q1, r1 = cholqr_rows(b, fallback=fallback)
-    q2, r2 = cholqr_rows(q1, fallback=fallback)
+    bk = resolve_backend(backend)
+    q1, r1 = cholqr_rows(b, fallback=fallback, backend=bk)
+    q2, r2 = cholqr_rows(q1, fallback=fallback, backend=bk)
     # B = r1^T q1, q1 = r2^T q2  =>  B = (r2 r1)^T q2.
-    return q2, r2 @ r1
+    return q2, bk.gemm(r2, r1)
 
 
 def mixed_precision_cholqr_rows(b: np.ndarray,
-                                gram_dtype=np.float32
+                                gram_dtype=np.float32,
+                                backend: BackendSpec = None
                                 ) -> Tuple[np.ndarray, np.ndarray]:
     """Mixed-precision CholQR (short-wide rows), after Yamazaki et al.
     [23].
@@ -202,17 +208,20 @@ def mixed_precision_cholqr_rows(b: np.ndarray,
     in the fast precision.
     """
     b = as_2d_float(b, "b")
+    bk = resolve_backend(backend)
     l, n = b.shape
     if l > n:
         raise ShapeError(f"mixed_precision_cholqr_rows needs l <= n, "
                          f"got {b.shape}")
+    # The fast-precision Gram stays a host product on purpose: the
+    # backend contract is float64 and must not silently upcast it.
     g32 = (b.astype(gram_dtype) @ b.astype(gram_dtype).T)
     g = g32.astype(np.float64)
     # Low precision makes breakdown more likely; always be ready to shift.
     try:
-        r1 = _chol_upper(g)
+        r1 = bk.cholesky(g)
     except CholeskyBreakdownError:
-        r1 = _shifted_chol_upper(g)
-    q1 = scipy.linalg.solve_triangular(r1, b, lower=False, trans="T")
-    q2, r2 = cholqr_rows(q1, fallback="shift")
-    return q2, r2 @ r1
+        r1 = _shifted_chol_upper(g, bk)
+    q1 = bk.solve_triangular(r1, b, lower=False, trans="T")
+    q2, r2 = cholqr_rows(q1, fallback="shift", backend=bk)
+    return q2, bk.gemm(r2, r1)

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import ShapeError
+from ..backends import hostmath
 from .utils import as_2d_float
 
 __all__ = ["cgs", "mgs", "block_orth_columns", "block_orth_rows",
@@ -56,7 +57,7 @@ def cgs(a: np.ndarray, reorthogonalize: bool = False
     eps = np.finfo(np.float64).eps
     for j in range(n):
         v = a[:, j].copy()
-        orig = float(np.linalg.norm(v))
+        orig = float(hostmath.norm(v))
         if j > 0:
             qj = q[:, :j]
             c = qj.T @ v
@@ -66,7 +67,7 @@ def cgs(a: np.ndarray, reorthogonalize: bool = False
                 c2 = qj.T @ v
                 v -= qj @ c2
                 r[:j, j] += c2
-        nrm = float(np.linalg.norm(v))
+        nrm = float(hostmath.norm(v))
         if nrm <= 100.0 * eps * orig or orig == 0.0:
             raise ShapeError(f"column {j} is numerically dependent; "
                              "CGS cannot proceed")
@@ -94,12 +95,12 @@ def mgs(a: np.ndarray, reorthogonalize: bool = False
     eps = np.finfo(np.float64).eps
     if not reorthogonalize:
         for j in range(n):
-            orig = float(np.linalg.norm(q[:, j]))
+            orig = float(hostmath.norm(q[:, j]))
             for i in range(j):
                 rij = float(q[:, i] @ q[:, j])
                 q[:, j] -= rij * q[:, i]
                 r[i, j] += rij
-            nrm = float(np.linalg.norm(q[:, j]))
+            nrm = float(hostmath.norm(q[:, j]))
             if nrm <= 100.0 * eps * orig or orig == 0.0:
                 raise ShapeError(f"column {j} is numerically dependent; "
                                  "MGS cannot proceed")

@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..config import QRCPConfig
+from ..backends import hostmath
 from ..errors import ShapeError
 from .householder import householder_vector
 from .utils import as_2d_float
@@ -66,9 +67,9 @@ class QRCPResult:
         """``||A P - Q R|| / ||A||`` (spectral norm), the paper's Fig. 6
         error measure."""
         ap = a[:, self.perm]
-        err = float(np.linalg.norm(ap - self.q @ self.r, ord=2))
+        err = hostmath.norm2(ap - self.q @ self.r)
         if relative:
-            na = float(np.linalg.norm(a, ord=2))
+            na = hostmath.norm2(a)
             return err / na if na > 0 else err
         return err
 
@@ -116,7 +117,7 @@ def qrcp_column(a: np.ndarray, k: Optional[int] = None) -> QRCPResult:
     taus = np.zeros(k)
 
     for j in range(k):
-        norms = np.linalg.norm(work[j:, j:], axis=0)
+        norms = hostmath.column_norms(work[j:, j:])
         pj = j + int(np.argmax(norms))
         if pj != j:
             work[:, [j, pj]] = work[:, [pj, j]]
@@ -168,7 +169,7 @@ def qp3_blocked(a: np.ndarray, k: Optional[int] = None,
     tol3z = np.sqrt(np.finfo(np.float64).eps)
 
     # Downdated (vn1) and reference (vn2) column norms, LAPACK naming.
-    vn1 = np.linalg.norm(work, axis=0)
+    vn1 = hostmath.column_norms(work)
     vn2 = vn1.copy()
     recomputations = 0
     stop_norm = (tolerance * float(vn1.max()) if tolerance is not None
@@ -247,7 +248,7 @@ def qp3_blocked(a: np.ndarray, k: Optional[int] = None,
                                      @ f[(jlast - j0):, :kb].T)
         if cancelled and jlast < n:
             if jlast < m:
-                vn1[jlast:] = np.linalg.norm(work[jlast:, jlast:], axis=0)
+                vn1[jlast:] = hostmath.column_norms(work[jlast:, jlast:])
             else:
                 vn1[jlast:] = 0.0
             vn2[jlast:] = vn1[jlast:]

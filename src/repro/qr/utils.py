@@ -4,9 +4,12 @@ checks, and small shape utilities.
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.linalg
+from typing import Optional
 
+import numpy as np
+
+from ..backends import hostmath, resolve_backend
+from ..backends.base import ComputeBackend
 from ..errors import ShapeError
 
 __all__ = [
@@ -55,7 +58,7 @@ def orthogonality_defect(q: np.ndarray, rows: bool = False) -> float:
     q = as_2d_float(q, "q")
     g = q @ q.T if rows else q.T @ q
     k = g.shape[0]
-    return float(np.linalg.norm(g - np.eye(k), ord="fro"))
+    return float(hostmath.norm(g - np.eye(k), ord="fro"))
 
 
 def is_orthonormal_columns(q: np.ndarray, tol: float = 1e-10) -> bool:
@@ -74,24 +77,28 @@ def triu_from(a: np.ndarray, k: int = 0) -> np.ndarray:
 
 
 def solve_upper_triangular(r: np.ndarray, b: np.ndarray,
-                           trans: bool = False) -> np.ndarray:
+                           trans: bool = False,
+                           backend: Optional[ComputeBackend] = None
+                           ) -> np.ndarray:
     """Solve ``R x = b`` (or ``R^T x = b``) for upper-triangular ``R``.
 
-    Thin wrapper over LAPACK ``trtrs`` via SciPy; raises
-    :class:`repro.errors.ShapeError` on non-square ``R``.
+    The TRSM runs on ``backend`` (the session default when ``None``);
+    raises :class:`repro.errors.ShapeError` on non-square ``R``.
     """
     r = as_2d_float(r, "r")
     if r.shape[0] != r.shape[1]:
         raise ShapeError(f"R must be square, got {r.shape}")
-    return scipy.linalg.solve_triangular(r, b, lower=False,
-                                         trans="T" if trans else "N")
+    return resolve_backend(backend).solve_triangular(
+        r, b, lower=False, trans="T" if trans else "N")
 
 
 def solve_lower_triangular(l: np.ndarray, b: np.ndarray,
-                           trans: bool = False) -> np.ndarray:
+                           trans: bool = False,
+                           backend: Optional[ComputeBackend] = None
+                           ) -> np.ndarray:
     """Solve ``L x = b`` (or ``L^T x = b``) for lower-triangular ``L``."""
     l = as_2d_float(l, "l")
     if l.shape[0] != l.shape[1]:
         raise ShapeError(f"L must be square, got {l.shape}")
-    return scipy.linalg.solve_triangular(l, b, lower=True,
-                                         trans="T" if trans else "N")
+    return resolve_backend(backend).solve_triangular(
+        l, b, lower=True, trans="T" if trans else "N")
