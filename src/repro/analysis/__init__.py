@@ -26,14 +26,31 @@ RS112   ``restore()`` fed a dict that is not a ``state()`` snapshot
 RS113   stale ``# repro: noqa`` suppressing nothing
 RS114   raw ``np.linalg``/``np.fft``/``scipy.linalg`` outside
         ``repro/backends`` (bypasses the pluggable-backend seam)
+RS115   device-resident value reaches host-only math without
+        ``to_host()`` (cross-module dataflow)
+RS116   transfer ping-pong: h2d then d2h with no device kernel in
+        between, or re-upload of a device-resident value
+RS117   backend handle escapes the executor contract (module
+        global, ``@allow_untimed_math`` scope, or public return)
+RS118   timed ``charge``/``submit`` reachable from a scope with no
+        executor/scheduler accounting
+RS119   RNG not derived from ``SamplingConfig.seed`` reaches a
+        sampling draw
 ======  =====================================================
 
 The static concurrency lints (RS109-RS112) pair with the dynamic
-happens-before race sanitizer in :mod:`repro.analysis.races`.
+happens-before race sanitizer in :mod:`repro.analysis.races`.  The
+residency family (RS115-RS119) is *project-wide*: the engine builds a
+symbol table and call graph over every file under analysis and runs a
+forward abstract interpretation on the host/device residency lattice
+(:mod:`repro.analysis.dataflow`), so a value produced in one module
+and misused in another is one finding at the sink.
 
 Run ``python -m repro.analysis src/repro`` (or ``python -m repro.cli
 analyze``); see ``docs/static_analysis.md`` for the rule reference,
-the ``# repro: noqa RSxxx`` suppression syntax, and baselines.
+the ``# repro: noqa RSxxx`` suppression syntax, baselines, the
+incremental cache (``--no-cache``/``--cache-dir``), parallel analysis
+(``--jobs``), and SARIF export (``--format sarif``).
 
 This ``__init__`` stays import-light (only the finding dataclass and
 the :func:`allow_untimed_math` marker) because algorithm modules import
@@ -43,13 +60,14 @@ when an analysis actually runs.
 
 from __future__ import annotations
 
-from .annotations import allow_untimed_math
+from .annotations import allow_untimed_math, residency
 from .findings import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
                        AnalysisFinding)
 
 __all__ = [
     "AnalysisFinding",
     "allow_untimed_math",
+    "residency",
     "analyze_paths",
     "main",
     "EXIT_CLEAN",

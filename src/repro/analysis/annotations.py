@@ -13,12 +13,23 @@ from typing import Callable, TypeVar
 
 from ..errors import ConfigurationError
 
-__all__ = ["allow_untimed_math", "ALLOW_UNTIMED_MATH"]
+__all__ = ["allow_untimed_math", "ALLOW_UNTIMED_MATH",
+           "residency", "RESIDENCY", "RESIDENCY_VALUES"]
 
 _F = TypeVar("_F", bound=Callable)
 
 #: The decorator name the RS101 checker looks for.
 ALLOW_UNTIMED_MATH = "allow_untimed_math"
+
+#: The decorator name the residency dataflow pass (RS115-RS119) looks
+#: for.
+RESIDENCY = "residency"
+
+#: Legal residency declarations.  ``device`` means "lives in simulated
+#: device memory until explicitly downloaded"; ``host`` means "safe for
+#: raw host math"; ``either`` means the callable legitimately returns
+#: both depending on configuration.
+RESIDENCY_VALUES = ("host", "device", "either")
 
 
 def allow_untimed_math(reason: str) -> Callable[[_F], _F]:
@@ -47,6 +58,45 @@ def allow_untimed_math(reason: str) -> Callable[[_F], _F]:
 
     def _mark(func: _F) -> _F:
         func.__untimed_math_reason__ = reason
+        return func
+
+    return _mark
+
+
+def residency(returns=None, params=None):
+    """Declare the modeled memory residency of a callable's values.
+
+    The cross-module dataflow pass (rules RS115-RS119, see
+    :mod:`repro.analysis.dataflow`) seeds its abstract interpretation at
+    these declarations: ``returns`` states where the return value lives
+    (``"host"``, ``"device"`` or ``"either"``) and ``params`` maps
+    parameter names to the residency the callable *requires* of its
+    arguments::
+
+        @residency(returns="device")
+        def sample_gemm(self, omega, a):
+            ...
+
+    Like :func:`allow_untimed_math` this is a marker: at runtime it only
+    records the declaration on the function object.  The analyzer reads
+    it syntactically, so apply it literally as ``@residency(...)`` with
+    constant strings.  It is also a *promise* the analyzer checks — a
+    function declared ``returns="host"`` whose body returns a
+    device-resident value is an RS115 finding (this is how a dropped
+    ``to_host`` in the multi-GPU executor is caught).
+    """
+    declared = dict(params or {})
+    if returns is not None:
+        declared["return"] = returns
+    for name, value in declared.items():
+        if value not in RESIDENCY_VALUES:
+            raise ConfigurationError(
+                f"residency({name}={value!r}): expected one of "
+                f"{RESIDENCY_VALUES}")
+
+    def _mark(func: _F) -> _F:
+        func.__residency__ = {"returns": returns,
+                              "params": dict(params or {})}
         return func
 
     return _mark

@@ -24,7 +24,7 @@ from ..errors import StaticAnalysisError
 from .findings import AnalysisFinding
 
 __all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
-           "apply_baseline"]
+           "apply_baseline", "update_baseline"]
 
 #: Conventional location, relative to the invocation directory.
 DEFAULT_BASELINE = "analysis-baseline.json"
@@ -59,6 +59,30 @@ def write_baseline(path: Path, findings: List[AnalysisFinding]) -> None:
         "findings": dict(sorted(counts.items())),
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def update_baseline(path: Path, findings: List[AnalysisFinding],
+                    ) -> Tuple[List[str], List[str], List[str]]:
+    """Rewrite ``path`` from the current findings, pruning stale entries.
+
+    Unlike :func:`write_baseline` (which unconditionally accepts
+    whatever the scan produced), this is the maintenance operation for
+    an *existing* baseline: fingerprints that no longer occur are
+    dropped, fingerprints still occurring are kept (with refreshed
+    counts), and fingerprints not previously baselined are added.
+
+    Returns ``(added, dropped, kept)`` — sorted fingerprint lists the
+    CLI prints so the diff of the baseline file is explainable.
+    """
+    previous: Dict[str, int] = {}
+    if path.is_file():
+        previous = load_baseline(path)
+    current = Counter(f.fingerprint() for f in findings)
+    added = sorted(fp for fp in current if fp not in previous)
+    dropped = sorted(fp for fp in previous if fp not in current)
+    kept = sorted(fp for fp in current if fp in previous)
+    write_baseline(path, findings)
+    return added, dropped, kept
 
 
 def apply_baseline(findings: List[AnalysisFinding],

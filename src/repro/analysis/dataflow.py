@@ -1,0 +1,1003 @@
+"""Forward abstract interpretation over the residency lattice.
+
+This is the semantic half of the project pass behind RS115-RS119.  Each
+variable is assigned a value from the lattice::
+
+        either            (top: could be on host or device)
+       /      \\
+     host    device
+       \\      /
+        unknown           (bottom: nothing observed yet)
+
+``join(host, device) == either`` and ``join(x, unknown) == x``.  Rules
+fire only on *definite* facts (a value that is ``device`` on every
+path), so merge points give code the benefit of the doubt — that keeps
+the pass usable as a CI gate on the whole tree.
+
+Seeds come from three places:
+
+- the transfer intrinsics: any ``*.to_device(x)`` call yields
+  ``device`` and any ``*.to_host(x)`` yields ``host``;
+- ``@residency(returns=..., params=...)`` declarations
+  (:func:`repro.analysis.annotations.residency`), placed on the
+  executor ops in :mod:`repro.gpu.device` / :mod:`repro.gpu.multigpu`;
+- interprocedural :class:`FunctionSummary` objects computed on demand
+  from function bodies, memoized, with cycles in the call graph
+  resolved conservatively to ``unknown``.
+
+Alongside residency the same walk carries three taint bits used by the
+sibling rules: *backend handles* (RS117), *timed-work submission*
+(RS118, propagated over the call graph by a worklist pass) and *RNG
+blessing* (RS119: a generator is blessed when its seed expression is
+derived from configuration/parameters rather than hard-coded or
+absent).
+
+Precision limits, deliberately accepted: flow stops at class
+constructors other than the analyzed executors (wrapping a device
+array in a result dataclass launders it to ``unknown``), containers
+join their elements, and attribute chains inherit the residency of
+their base (so ``a.T`` on a device array stays ``device``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import (ClassInfo, FunctionInfo, ModuleInfo, SymbolTable,
+                        call_name)
+
+__all__ = [
+    "UNKNOWN", "HOST", "DEVICE", "EITHER", "join",
+    "AbstractValue", "FunctionSummary", "RawFinding", "ProjectAnalysis",
+]
+
+UNKNOWN = "unknown"
+HOST = "host"
+DEVICE = "device"
+EITHER = "either"
+
+#: Attribute names treated as transfer intrinsics wherever they appear.
+TO_DEVICE = "to_device"
+TO_HOST = "to_host"
+
+#: Call targets whose result is a backend handle (RS117 taint).
+_BACKEND_FACTORIES = {"resolve_backend", "get_default_backend",
+                      "make_backend"}
+
+#: Call targets constructing an RNG (RS119 taint); ``make_rng`` is the
+#: backend hook, ``default_rng`` the raw numpy constructor.
+_RNG_FACTORIES = {"default_rng", "make_rng"}
+
+#: RNG methods that draw samples (the RS119 sink set).
+_RNG_DRAWS = {"standard_normal", "normal", "random", "choice",
+              "integers", "permutation", "uniform"}
+
+#: Method calls that submit modeled (timed) work — the direct RS118
+#: facts, gated to stream/device modules by the caller.
+_TIMED_SUBMITTERS = {"charge", "submit", "submit_group"}
+
+#: Host-only sinks by module: calls resolving into these modules
+#: require host operands.
+_HOST_MATH_MODULES = ("repro.backends.hostmath",)
+
+#: numpy reductions that read array contents on the host when applied
+#: to a device-resident value.
+_HOST_READS = {"float", "bool", "int", "print", "len", "item", "tolist"}
+
+#: Attributes that are metadata, resident on the host for any array.
+_METADATA_ATTRS = {"shape", "ndim", "size", "dtype", "nbytes", "flags",
+                   "itemsize"}
+
+
+def join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if a == UNKNOWN:
+        return b
+    if b == UNKNOWN:
+        return a
+    return EITHER
+
+
+class AbstractValue:
+    """Residency plus taint bits for one abstract value."""
+
+    __slots__ = ("res", "backend", "rng", "fresh_upload", "origin")
+
+    def __init__(self, res: str = UNKNOWN, backend: bool = False,
+                 rng: Optional[str] = None, fresh_upload: bool = False,
+                 origin: Optional[ast.AST] = None):
+        self.res = res
+        self.backend = backend
+        #: ``None`` (not an RNG), ``"blessed"``, ``"unblessed"`` or
+        #: ``"mixed"`` (joined; benefit of the doubt).
+        self.rng = rng
+        #: True right after ``to_device`` with no kernel use yet (RS116).
+        self.fresh_upload = fresh_upload
+        #: The AST node that made this value device-resident / an RNG —
+        #: reported as the *source* in finding messages.
+        self.origin = origin
+
+    def joined(self, other: "AbstractValue") -> "AbstractValue":
+        rng = self.rng if self.rng == other.rng else (
+            None if self.rng is None and other.rng is None else "mixed")
+        res = join(self.res, other.res)
+        origin = self.origin if res == self.res else other.origin
+        return AbstractValue(
+            res=res,
+            backend=self.backend or other.backend,
+            rng=rng,
+            fresh_upload=self.fresh_upload and other.fresh_upload,
+            origin=origin or self.origin or other.origin)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [self.res]
+        if self.backend:
+            bits.append("backend")
+        if self.rng:
+            bits.append(f"rng:{self.rng}")
+        return f"<AV {' '.join(bits)}>"
+
+
+class FunctionSummary:
+    """What a callee does to its arguments and return value."""
+
+    __slots__ = ("returns", "returns_param", "param_host_sinks",
+                 "param_rng_sinks", "returns_backend", "returns_rng",
+                 "declared", "in_progress")
+
+    def __init__(self) -> None:
+        self.returns = UNKNOWN
+        #: Index of the parameter returned unchanged, if the return
+        #: residency should be the argument's (identity-ish callees).
+        self.returns_param: Optional[int] = None
+        #: Parameter indices that reach a host-only sink in the body.
+        self.param_host_sinks: Set[int] = set()
+        #: Parameter indices used as an RNG for sampling draws.
+        self.param_rng_sinks: Set[int] = set()
+        self.returns_backend = False
+        self.returns_rng: Optional[str] = None
+        self.declared: Dict[str, str] = {}
+        self.in_progress = False
+
+
+class RawFinding:
+    """A project-pass finding before per-file noqa filtering."""
+
+    __slots__ = ("rule", "relpath", "line", "col", "message", "context")
+
+    def __init__(self, rule: str, relpath: str, line: int, col: int,
+                 message: str, context: str):
+        self.rule = rule
+        self.relpath = relpath
+        self.line = line
+        self.col = col
+        self.message = message
+        self.context = context
+
+    def key(self) -> Tuple:
+        return (self.rule, self.relpath, self.line, self.col, self.message)
+
+
+def _describe(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return "an earlier device op"
+    name = call_name(node.func) if isinstance(node, ast.Call) else ""
+    where = f"line {getattr(node, 'lineno', '?')}"
+    return f"{name or 'a device op'} at {where}"
+
+
+class ProjectAnalysis:
+    """Runs the residency pass over a :class:`SymbolTable`.
+
+    Usage: construct, call :meth:`run`, then read ``findings_by_file``
+    (relpath -> list of :class:`RawFinding`).  The engine feeds those
+    through each file's noqa table via the per-file RS115-RS119
+    checkers in :mod:`repro.analysis.rules_residency`.
+    """
+
+    def __init__(self, table: SymbolTable):
+        self.table = table
+        self._summaries: Dict[Tuple[str, str], FunctionSummary] = {}
+        self._timed_direct: Set[Tuple[str, str]] = set()
+        self._call_edges: Dict[Tuple[str, str],
+                               Set[Tuple[str, str]]] = {}
+        self._timed: Set[Tuple[str, str]] = set()
+        self.findings: List[RawFinding] = []
+        self._seen_keys: Set[Tuple] = set()
+
+    # -- public ----------------------------------------------------------
+    def run(self) -> "ProjectAnalysis":
+        # Pass 1: summaries (and call edges + direct timed facts) for
+        # every function, then close timed-submission over the graph.
+        for mod in self.table.all_modules:
+            for fn in mod.all_functions:
+                self.summary_of(fn)
+        self._close_timed()
+        # Pass 2: re-walk every function and the module level, emitting
+        # findings now that summaries and timed closure are stable.
+        for mod in self.table.all_modules:
+            for fn in mod.all_functions:
+                _FunctionFlow(self, mod, fn, emit=True).analyze()
+            _ModuleFlow(self, mod).analyze()
+        self.findings.sort(key=lambda f: (f.relpath, f.line, f.rule, f.col))
+        return self
+
+    @property
+    def findings_by_file(self) -> Dict[str, List[RawFinding]]:
+        out: Dict[str, List[RawFinding]] = {}
+        for f in self.findings:
+            out.setdefault(f.relpath, []).append(f)
+        return out
+
+    # -- summaries -------------------------------------------------------
+    def summary_of(self, fn: FunctionInfo) -> FunctionSummary:
+        key = (fn.module, fn.qualname)
+        summ = self._summaries.get(key)
+        if summ is not None:
+            if summ.in_progress:
+                # Call-graph cycle: answer conservatively with the
+                # declaration only.
+                return summ
+            return summ
+        summ = FunctionSummary()
+        summ.declared = dict(fn.residency)
+        if "return" in summ.declared:
+            summ.returns = summ.declared["return"]
+        summ.in_progress = True
+        self._summaries[key] = summ
+        _FunctionFlow(self, fn.owner, fn, emit=False).analyze()
+        summ.in_progress = False
+        return summ
+
+    # -- timed-work closure (RS118) --------------------------------------
+    def note_call_edge(self, caller: Tuple[str, str],
+                       callee: FunctionInfo) -> None:
+        self._call_edges.setdefault(caller, set()).add(
+            (callee.module, callee.qualname))
+
+    def note_timed_direct(self, fn_key: Tuple[str, str]) -> None:
+        self._timed_direct.add(fn_key)
+
+    def _close_timed(self) -> None:
+        self._timed = set(self._timed_direct)
+        # Reverse edges once, then worklist.
+        rev: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        for caller, callees in self._call_edges.items():
+            for callee in callees:
+                rev.setdefault(callee, set()).add(caller)
+        work = list(self._timed)
+        while work:
+            fn_key = work.pop()
+            for caller in rev.get(fn_key, ()):
+                if caller not in self._timed:
+                    self._timed.add(caller)
+                    work.append(caller)
+
+    def submits_timed(self, fn: FunctionInfo) -> bool:
+        return (fn.module, fn.qualname) in self._timed
+
+    # -- emission --------------------------------------------------------
+    def emit(self, rule: str, mod: ModuleInfo, node: ast.AST,
+             message: str, context: str) -> None:
+        raw = RawFinding(rule, mod.relpath,
+                         getattr(node, "lineno", 1),
+                         getattr(node, "col_offset", 0),
+                         message, context)
+        if raw.key() in self._seen_keys:
+            return
+        self._seen_keys.add(raw.key())
+        self.findings.append(raw)
+
+
+class _FlowBase(ast.NodeVisitor):
+    """Shared expression evaluation for function and module flows."""
+
+    def __init__(self, project: ProjectAnalysis, mod: ModuleInfo,
+                 emit: bool):
+        self.project = project
+        self.mod = mod
+        self.do_emit = emit
+        self.env: Dict[str, AbstractValue] = {}
+        self.context = "<module>"
+        self.untimed = False
+
+    # Subclasses override ------------------------------------------------
+    def self_attr(self, name: str) -> Optional[AbstractValue]:
+        return None
+
+    def record_return(self, value: AbstractValue,
+                      node: ast.Return) -> None:
+        pass
+
+    def fn_key(self) -> Optional[Tuple[str, str]]:
+        return None
+
+    # -- emission helpers ------------------------------------------------
+    def emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.do_emit:
+            self.project.emit(rule, self.mod, node, message, self.context)
+
+    # -- the evaluator ---------------------------------------------------
+    def eval(self, node: Optional[ast.expr]) -> AbstractValue:
+        if node is None:
+            return AbstractValue()
+        method = getattr(self, "_eval_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return AbstractValue()
+
+    def _eval_Name(self, node: ast.Name) -> AbstractValue:
+        return self.env.get(node.id, AbstractValue())
+
+    def _eval_Attribute(self, node: ast.Attribute) -> AbstractValue:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            av = self.self_attr(node.attr)
+            if av is not None:
+                return av
+            return AbstractValue()
+        # Metadata (shape, dtype, ...) lives host-side even for a
+        # device array: reading it is free and never an RS115 sink.
+        if node.attr in _METADATA_ATTRS:
+            return AbstractValue(res=HOST)
+        # ``a.T`` / ``a.real`` keep the residency of ``a``; drop taints.
+        base = self.eval(node.value)
+        return AbstractValue(res=base.res, origin=base.origin)
+
+    def _eval_Subscript(self, node: ast.Subscript) -> AbstractValue:
+        base = self.eval(node.value)
+        return AbstractValue(res=base.res, origin=base.origin)
+
+    def _eval_BinOp(self, node: ast.BinOp) -> AbstractValue:
+        left, right = self.eval(node.left), self.eval(node.right)
+        res = join(left.res, right.res)
+        origin = left.origin if left.res == DEVICE else right.origin
+        return AbstractValue(res=res, origin=origin)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> AbstractValue:
+        base = self.eval(node.operand)
+        return AbstractValue(res=base.res, origin=base.origin)
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> AbstractValue:
+        out = self.eval(node.values[0])
+        for v in node.values[1:]:
+            out = out.joined(self.eval(v))
+        return out
+
+    def _eval_IfExp(self, node: ast.IfExp) -> AbstractValue:
+        self._check_host_read(node.test)
+        return self.eval(node.body).joined(self.eval(node.orelse))
+
+    def _eval_Compare(self, node: ast.Compare) -> AbstractValue:
+        # Identity tests (``x is None``) compare references, not
+        # contents — no host read happens.
+        if all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops):
+            for operand in [node.left] + list(node.comparators):
+                self.eval(operand)
+            return AbstractValue(res=HOST)
+        for operand in [node.left] + list(node.comparators):
+            av = self.eval(operand)
+            if av.res == DEVICE:
+                self.emit(
+                    "RS115", node,
+                    "comparison reads a device-resident value "
+                    f"(from {_describe(av.origin)}) on the host; "
+                    "download it with to_host() first")
+        return AbstractValue(res=HOST)
+
+    def _eval_Tuple(self, node: ast.Tuple) -> AbstractValue:
+        out = AbstractValue()
+        for elt in node.elts:
+            out = out.joined(self.eval(elt))
+        return out
+
+    _eval_List = _eval_Tuple
+    _eval_Set = _eval_Tuple
+
+    def _eval_Starred(self, node: ast.Starred) -> AbstractValue:
+        return self.eval(node.value)
+
+    def _eval_NamedExpr(self, node) -> AbstractValue:
+        value = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = value
+        return value
+
+    def _eval_Call(self, node: ast.Call) -> AbstractValue:
+        dotted = call_name(node.func)
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+        args = [self.eval(a) for a in node.args]
+        kwargs = {kw.arg: self.eval(kw.value) for kw in node.keywords
+                  if kw.arg}
+
+        # Timed-submission direct fact (RS118).  ``.charge``/``.submit``
+        # is only a scheduler verb in modules that plausibly hold one
+        # (under repro/gpu/ or importing the stream scheduler) — in a
+        # random module ``pool.submit`` is concurrent.futures.
+        if leaf in _TIMED_SUBMITTERS and isinstance(node.func,
+                                                    ast.Attribute) \
+                and self._in_timed_scope_module():
+            key = self.fn_key()
+            if key is not None:
+                self.project.note_timed_direct(key)
+                if self.untimed:
+                    self._flag_untimed_reach(node, leaf)
+            else:
+                self._flag_untimed_reach(node, leaf)
+
+        # Transfer intrinsics -------------------------------------------
+        if leaf == TO_HOST and isinstance(node.func, ast.Attribute):
+            if args and args[0].fresh_upload:
+                self.emit(
+                    "RS116", node,
+                    "transfer ping-pong: value uploaded by "
+                    f"{_describe(args[0].origin)} is downloaded again "
+                    "with no device kernel in between")
+            return AbstractValue(res=HOST)
+        if leaf == TO_DEVICE and isinstance(node.func, ast.Attribute):
+            if args and args[0].res == DEVICE:
+                self.emit(
+                    "RS116", node,
+                    "re-upload: operand is already device-resident "
+                    f"(from {_describe(args[0].origin)}); dropping the "
+                    "redundant to_device saves an h2d transfer")
+            return AbstractValue(res=DEVICE, fresh_upload=True,
+                                 origin=node)
+
+        # RNG construction ----------------------------------------------
+        if leaf in _RNG_FACTORIES:
+            seed = node.args[0] if node.args else None
+            for kw in node.keywords:
+                if kw.arg == "seed":
+                    seed = kw.value
+            blessed = self._seed_blessed(seed)
+            return AbstractValue(
+                rng="blessed" if blessed else "unblessed", origin=node)
+
+        # Backend factories ---------------------------------------------
+        if leaf in _BACKEND_FACTORIES:
+            return AbstractValue(backend=True, origin=node)
+
+        # RNG draw methods (RS119 sink) ---------------------------------
+        if leaf in _RNG_DRAWS and isinstance(node.func, ast.Attribute):
+            recv = self.eval(node.func.value)
+            if recv.rng == "unblessed":
+                self.emit(
+                    "RS119", node,
+                    f"sampling draw .{leaf}() uses an RNG constructed "
+                    f"by {_describe(recv.origin)} that is not derived "
+                    "from SamplingConfig.seed; thread the configured "
+                    "seed through instead")
+            # A draw result is a fresh host-side array.
+            return AbstractValue()
+
+        # hostmath.* and other host-only sinks --------------------------
+        if self._is_hostmath_call(dotted):
+            self._check_args_host(node, args, kwargs, f"{dotted}()")
+            return AbstractValue(res=HOST)
+        if leaf in _HOST_READS and isinstance(node.func, ast.Name):
+            for av in args:
+                if av.res == DEVICE:
+                    self.emit(
+                        "RS115", node,
+                        f"{leaf}() reads a device-resident value (from "
+                        f"{_describe(av.origin)}) on the host; download "
+                        "it with to_host() first")
+            return AbstractValue(res=HOST)
+        if leaf in ("item", "tolist") and isinstance(node.func,
+                                                     ast.Attribute):
+            recv = self.eval(node.func.value)
+            if recv.res == DEVICE:
+                self.emit(
+                    "RS115", node,
+                    f".{leaf}() reads a device-resident value (from "
+                    f"{_describe(recv.origin)}) on the host; download "
+                    "it with to_host() first")
+            return AbstractValue(res=HOST)
+
+        # Resolved project callees --------------------------------------
+        callee = self._resolve_callee(node)
+        if callee:
+            return self._apply_summaries(node, callee, args, kwargs)
+
+        # Any device kernel consumes freshness of its operands.
+        for av in args:
+            av.fresh_upload = False
+        for av in kwargs.values():
+            av.fresh_upload = False
+        return AbstractValue()
+
+    # -- call helpers ----------------------------------------------------
+    def _resolve_callee(self, node: ast.Call) -> List[FunctionInfo]:
+        dotted = call_name(node.func)
+        if not dotted:
+            return []
+        if dotted.startswith("self.") and dotted.count(".") == 1:
+            fn = self._resolve_self_method(dotted.split(".")[1])
+            return [fn] if fn else []
+        fn = self.project.table.resolve_function(self.mod, dotted)
+        if fn is not None:
+            return [fn]
+        if "." in dotted:
+            # Unknown receiver: join over every method of this name.
+            leaf = dotted.rsplit(".", 1)[-1]
+            head = dotted.split(".", 1)[0]
+            if head in self.mod.imports or head in self.mod.from_imports:
+                # Module-qualified call that didn't resolve — not a
+                # method on an object; no candidates.
+                if self.mod.imported_module(
+                        dotted.rsplit(".", 1)[0]) is not None:
+                    return []
+            return self.project.table.methods_named(leaf)
+        return []
+
+    def _resolve_self_method(self, name: str) -> Optional[FunctionInfo]:
+        return None
+
+    def _apply_summaries(self, node: ast.Call,
+                         candidates: List[FunctionInfo],
+                         args: List[AbstractValue],
+                         kwargs: Dict[str, AbstractValue],
+                         ) -> AbstractValue:
+        exact = len(candidates) == 1
+        returns: Optional[AbstractValue] = None
+        ret_ress: List[str] = []
+        for fn in candidates:
+            summ = self.project.summary_of(fn)
+            key = self.fn_key()
+            # Edges into the timed-work closure: always for an exact
+            # resolution; for ambiguous method-name matches only in
+            # modules that plausibly talk to a scheduler, so a stray
+            # ``pool.submit`` elsewhere cannot poison the closure.
+            if key is not None and (exact
+                                    or self._in_timed_scope_module()):
+                self.project.note_call_edge(key, fn)
+            # RS118: timed work reached from an untimed scope.
+            if self.project.submits_timed(fn) and (
+                    self.untimed or key is None) and (
+                    exact or self._in_timed_scope_module()):
+                self._flag_untimed_reach(node, fn.qualname)
+            # Align arguments with parameters (skip self for methods).
+            offset = 1 if fn.is_method else 0
+            aligned: Dict[int, AbstractValue] = {}
+            for i, av in enumerate(args):
+                aligned[i + offset] = av
+            for name, av in kwargs.items():
+                idx = fn.param_index(name)
+                if idx is not None:
+                    aligned[idx] = av
+            if exact:
+                # Call-site obligations are only checked against an
+                # unambiguous callee: name-matched candidate sets must
+                # not convict anyone.
+                self._check_call_site(node, fn, summ, aligned)
+            ret = AbstractValue(res=summ.returns,
+                                backend=summ.returns_backend,
+                                rng=summ.returns_rng,
+                                origin=node if summ.returns == DEVICE
+                                else None)
+            if summ.returns_param is not None:
+                passed = aligned.get(summ.returns_param)
+                if passed is not None:
+                    ret = AbstractValue(res=passed.res,
+                                        backend=passed.backend,
+                                        rng=passed.rng,
+                                        origin=passed.origin)
+            ret_ress.append(ret.res)
+            returns = ret if returns is None else returns.joined(ret)
+        for av in args:
+            av.fresh_upload = False
+        for av in kwargs.values():
+            av.fresh_upload = False
+        if returns is None:
+            return AbstractValue()
+        if not exact:
+            # Ambiguous resolution yields a definite residency only
+            # when every candidate agrees; a disagreement (or any
+            # unknown candidate) demotes to either/unknown so no rule
+            # can fire on a guessed receiver class.
+            agreed = ret_ress[0] if len(set(ret_ress)) == 1 else None
+            if agreed in (HOST, DEVICE):
+                return AbstractValue(
+                    res=agreed,
+                    origin=node if agreed == DEVICE else None)
+            return AbstractValue(
+                res=UNKNOWN if all(r == UNKNOWN for r in ret_ress)
+                else EITHER)
+        return returns
+
+    def _check_call_site(self, node: ast.Call, fn: FunctionInfo,
+                         summ: FunctionSummary,
+                         aligned: Dict[int, AbstractValue]) -> None:
+        for idx, av in aligned.items():
+            pname = fn.params[idx] if idx < len(fn.params) else f"#{idx}"
+            if av.res == DEVICE and (
+                    idx in summ.param_host_sinks
+                    or summ.declared.get(pname) == HOST):
+                self.emit(
+                    "RS115", node,
+                    f"device-resident argument (from "
+                    f"{_describe(av.origin)}) flows into host-only "
+                    f"math via parameter '{pname}' of {fn.qualname}(); "
+                    "download it with to_host() first")
+            if av.rng == "unblessed" and idx in summ.param_rng_sinks:
+                self.emit(
+                    "RS119", node,
+                    f"RNG constructed by {_describe(av.origin)} (not "
+                    "derived from SamplingConfig.seed) reaches sampling "
+                    f"inside {fn.qualname}() via parameter '{pname}'")
+            if av.backend and fn.untimed:
+                self.emit(
+                    "RS117", node,
+                    "backend handle passed into @allow_untimed_math "
+                    f"function {fn.qualname}(); untimed diagnostics "
+                    "must not drive backend kernels directly")
+
+    def _flag_untimed_reach(self, node: ast.Call, callee: str) -> None:
+        where = ("module level" if self.context == "<module>"
+                 else "an @allow_untimed_math scope")
+        self.emit(
+            "RS118", node,
+            f"call to {callee}() submits modeled (timed) work from "
+            f"{where}, where no executor/scheduler is in scope to "
+            "account for it")
+
+    # -- sink helpers ----------------------------------------------------
+    def _is_hostmath_call(self, dotted: str) -> bool:
+        if "." not in dotted:
+            target = self.mod.from_imports.get(dotted, "")
+            return any(target.startswith(m + ".")
+                       for m in _HOST_MATH_MODULES)
+        prefix = dotted.rsplit(".", 1)[0]
+        target = self.mod.imported_module(prefix) or prefix
+        return target in _HOST_MATH_MODULES
+
+    def _check_args_host(self, node: ast.Call,
+                         args: List[AbstractValue],
+                         kwargs: Dict[str, AbstractValue],
+                         what: str) -> None:
+        for av in list(args) + list(kwargs.values()):
+            if av.res == DEVICE:
+                self.emit(
+                    "RS115", node,
+                    f"device-resident value (from {_describe(av.origin)})"
+                    f" passed to host-only {what}; download it with "
+                    "to_host() first")
+
+    def _check_host_read(self, test: ast.expr) -> None:
+        av = self.eval(test)
+        if av.res == DEVICE:
+            self.emit(
+                "RS115", test,
+                "branch condition reads a device-resident value (from "
+                f"{_describe(av.origin)}) on the host; download it with "
+                "to_host() first")
+
+    def _seed_blessed(self, seed: Optional[ast.expr]) -> bool:
+        """Hard-coded or absent seeds are unblessed; anything derived
+        from parameters, attributes or other expressions gets the
+        benefit of the doubt (``SamplingConfig.seed`` flows in as a
+        plain name or attribute)."""
+        if seed is None:
+            return False
+        if isinstance(seed, ast.Constant):
+            return False
+        return True
+
+    def _in_timed_scope_module(self) -> bool:
+        """Direct RS118 facts are gated to modules that plausibly hold
+        a scheduler/executor: under ``repro/gpu/`` or importing the
+        stream scheduler.  Elsewhere ``submit`` is just a name."""
+        if "repro/gpu/" in self.mod.relpath:
+            return True
+        targets = set(self.mod.imports.values()) | set(
+            self.mod.from_imports.values())
+        return any(t == "repro.gpu.streams"
+                   or t.startswith("repro.gpu.streams.")
+                   for t in targets)
+
+    # -- statement walking -----------------------------------------------
+    def exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if handler is not None:
+            handler(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef, ast.Import,
+                               ast.ImportFrom)):
+            pass  # definitions analyzed separately; imports structural
+        else:
+            # Fallback: evaluate nested expressions for their effects.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _assign_target(self, target: ast.expr,
+                       value: AbstractValue) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, AbstractValue(
+                    res=value.res, backend=value.backend, rng=value.rng,
+                    origin=value.origin))
+        elif isinstance(target, ast.Attribute):
+            self.assign_attr(target, value)
+
+    def assign_attr(self, target: ast.Attribute,
+                    value: AbstractValue) -> None:
+        pass
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> None:
+        value = self.eval(stmt.value)
+        for target in stmt.targets:
+            self._assign_target(target, value)
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign) -> None:
+        if stmt.value is not None:
+            self._assign_target(stmt.target, self.eval(stmt.value))
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
+        value = self.eval(stmt.value)
+        if isinstance(stmt.target, ast.Name):
+            prev = self.env.get(stmt.target.id, AbstractValue())
+            self.env[stmt.target.id] = prev.joined(value)
+
+    def _stmt_Expr(self, stmt: ast.Expr) -> None:
+        self.eval(stmt.value)
+
+    def _stmt_Return(self, stmt: ast.Return) -> None:
+        value = self.eval(stmt.value)
+        self.record_return(value, stmt)
+
+    def _stmt_If(self, stmt: ast.If) -> None:
+        self._check_host_read(stmt.test)
+        before = dict(self.env)
+        self.exec_body(stmt.body)
+        after_body = self.env
+        self.env = before
+        self.exec_body(stmt.orelse)
+        self._merge_env(after_body)
+
+    def _stmt_While(self, stmt: ast.While) -> None:
+        self._check_host_read(stmt.test)
+        self._loop_body(stmt.body)
+        self.exec_body(stmt.orelse)
+
+    def _stmt_For(self, stmt: ast.For) -> None:
+        iterable = self.eval(stmt.iter)
+        self._assign_target(stmt.target, AbstractValue(
+            res=iterable.res, origin=iterable.origin))
+        self._loop_body(stmt.body)
+        self.exec_body(stmt.orelse)
+
+    def _loop_body(self, body: Sequence[ast.stmt]) -> None:
+        # Two iterations: the second sees loop-carried values, which is
+        # enough for a join-based analysis without a full fixpoint.
+        before = dict(self.env)
+        self.exec_body(body)
+        self.exec_body(body)
+        self._merge_env(before)
+
+    def _stmt_With(self, stmt: ast.With) -> None:
+        for item in stmt.items:
+            value = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, value)
+        self.exec_body(stmt.body)
+
+    def _stmt_Try(self, stmt: ast.Try) -> None:
+        self.exec_body(stmt.body)
+        for handler in stmt.handlers:
+            self.exec_body(handler.body)
+        self.exec_body(stmt.orelse)
+        self.exec_body(stmt.finalbody)
+
+    def _stmt_Assert(self, stmt: ast.Assert) -> None:
+        self._check_host_read(stmt.test)
+
+    def _merge_env(self, other: Dict[str, AbstractValue]) -> None:
+        for name, av in other.items():
+            if name in self.env:
+                self.env[name] = self.env[name].joined(av)
+            else:
+                self.env[name] = av
+
+
+class _FunctionFlow(_FlowBase):
+    """Abstract interpretation of one function body."""
+
+    def __init__(self, project: ProjectAnalysis, mod: ModuleInfo,
+                 fn: FunctionInfo, emit: bool):
+        super().__init__(project, mod, emit)
+        self.fn = fn
+        self.context = fn.qualname
+        self.untimed = fn.untimed
+        self.cls: Optional[ClassInfo] = (
+            mod.classes.get(fn.class_name) if fn.class_name else None)
+        self._return_values: List[Tuple[AbstractValue, ast.Return]] = []
+        for i, name in enumerate(fn.params):
+            declared = fn.residency.get(name)
+            self.env[name] = AbstractValue(res=declared or UNKNOWN)
+        self._self_attrs: Optional[Dict[str, AbstractValue]] = None
+
+    def fn_key(self) -> Optional[Tuple[str, str]]:
+        return (self.fn.module, self.fn.qualname)
+
+    def analyze(self) -> None:
+        self.exec_body(self.fn.node.body)
+        self._finish_summary()
+
+    # -- self attributes -------------------------------------------------
+    def self_attr(self, name: str) -> Optional[AbstractValue]:
+        if self.cls is None:
+            return None
+        if name == "backend":
+            return AbstractValue(backend=True)
+        if name == "rng":
+            # Executor RNGs come from backend.make_rng(seed) with the
+            # configured seed: blessed by construction.
+            return AbstractValue(rng="blessed")
+        if self._self_attrs is None:
+            self._self_attrs = self._collect_init_attrs()
+        return self._self_attrs.get(name)
+
+    def _collect_init_attrs(self) -> Dict[str, AbstractValue]:
+        """Shallow scan of ``__init__`` for rng/backend-typed attrs."""
+        out: Dict[str, AbstractValue] = {}
+        init = self.project.table.resolve_method(
+            self.mod, self.cls, "__init__") if self.cls else None
+        if init is None or init.qualname == self.fn.qualname:
+            return out
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and isinstance(stmt.value, ast.Call)):
+                    leaf = call_name(stmt.value.func).rsplit(".", 1)[-1]
+                    if leaf in _RNG_FACTORIES:
+                        seed = stmt.value.args[0] if stmt.value.args \
+                            else None
+                        for kw in stmt.value.keywords:
+                            if kw.arg == "seed":
+                                seed = kw.value
+                        out[target.attr] = AbstractValue(
+                            rng="blessed" if self._seed_blessed(seed)
+                            else "unblessed", origin=stmt.value)
+                    elif leaf in _BACKEND_FACTORIES:
+                        out[target.attr] = AbstractValue(backend=True)
+        return out
+
+    def _resolve_self_method(self, name: str) -> Optional[FunctionInfo]:
+        if self.cls is None:
+            return None
+        return self.project.table.resolve_method(self.mod, self.cls, name)
+
+    # -- returns ---------------------------------------------------------
+    def record_return(self, value: AbstractValue,
+                      node: ast.Return) -> None:
+        self._return_values.append((value, node))
+        declared = self.fn.residency.get("return")
+        if declared == HOST and value.res == DEVICE:
+            self.emit(
+                "RS115", node,
+                f"{self.fn.qualname}() is declared "
+                "@residency(returns=\"host\") but returns a "
+                f"device-resident value (from {_describe(value.origin)});"
+                " download it with to_host() before returning")
+        if value.backend and not self.fn.name.startswith("_") \
+                and self.cls is None \
+                and "repro/backends/" not in self.mod.relpath:
+            self.emit(
+                "RS117", self.fn.node if self.do_emit else node,
+                f"public function {self.fn.qualname}() returns a "
+                "backend handle across the repro.backends boundary; "
+                "keep handles inside the executor contract")
+
+    def _finish_summary(self) -> None:
+        key = (self.fn.module, self.fn.qualname)
+        summ = self.project._summaries.get(key)
+        if summ is None or self.do_emit:
+            return
+        # Return residency: declaration wins; otherwise join observed.
+        if "return" not in summ.declared and self._return_values:
+            res = self._return_values[0][0].res
+            backend = False
+            rng = self._return_values[0][0].rng
+            for value, _ in self._return_values[1:]:
+                res = join(res, value.res)
+                rng = rng if rng == value.rng else "mixed"
+            for value, _ in self._return_values:
+                backend = backend or value.backend
+            summ.returns = res
+            summ.returns_backend = backend
+            summ.returns_rng = rng
+            summ.returns_param = self._identity_param()
+        # Parameter sinks: which params reached host-only math / draws.
+        for i, name in enumerate(self.fn.params):
+            if name in self._param_host_sink_names:
+                summ.param_host_sinks.add(i)
+            if name in self._param_rng_sink_names:
+                summ.param_rng_sinks.add(i)
+
+    def _identity_param(self) -> Optional[int]:
+        if len(self._return_values) != 1:
+            return None
+        node = self._return_values[0][1].value
+        if isinstance(node, ast.Name):
+            return self.fn.param_index(node.id)
+        return None
+
+    # Track parameter names that hit sinks during the summary pass.
+    @property
+    def _param_host_sink_names(self) -> Set[str]:
+        return getattr(self, "_phsn", set())
+
+    @property
+    def _param_rng_sink_names(self) -> Set[str]:
+        return getattr(self, "_prsn", set())
+
+    def _note_param_sink(self, expr: ast.expr, kind: str) -> None:
+        if isinstance(expr, ast.Name) and expr.id in self.fn.params:
+            attr = "_phsn" if kind == "host" else "_prsn"
+            names = getattr(self, attr, None)
+            if names is None:
+                names = set()
+                setattr(self, attr, names)
+            names.add(expr.id)
+
+    # Override sink checks to also record parameter flow.
+    def _check_args_host(self, node, args, kwargs, what) -> None:
+        super()._check_args_host(node, args, kwargs, what)
+        for expr in list(node.args) + [kw.value for kw in node.keywords]:
+            self._note_param_sink(expr, "host")
+
+    def _eval_Call(self, node: ast.Call) -> AbstractValue:
+        dotted = call_name(node.func)
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+        # RNG draw on a parameter → this param is an RNG sink.
+        if leaf in _RNG_DRAWS and isinstance(node.func, ast.Attribute):
+            self._note_param_sink(node.func.value, "rng")
+        return super()._eval_Call(node)
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    """True for ``__name__ == "__main__"`` entry-point guards."""
+    return (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__")
+
+
+class _ModuleFlow(_FlowBase):
+    """Module-level statements: RS117 globals and RS118 toplevel calls."""
+
+    def __init__(self, project: ProjectAnalysis, mod: ModuleInfo):
+        super().__init__(project, mod, emit=True)
+
+    def _stmt_If(self, stmt) -> None:
+        # ``if __name__ == "__main__": main()`` is an entry point: the
+        # callee builds its own executor, so RS118 does not apply.
+        if _is_main_guard(stmt.test):
+            return
+        super()._stmt_If(stmt)
+
+    def analyze(self) -> None:
+        for stmt in self.mod.tree.body:
+            self.exec_stmt(stmt)
+        # RS117: backend handle parked on a module global.
+        for assign in self.mod.module_assigns:
+            value = self.eval(assign.value)
+            if value.backend and "repro/backends/" not in \
+                    self.mod.relpath:
+                self.emit(
+                    "RS117", assign,
+                    "backend handle stored on a module-level global "
+                    "escapes the executor contract; resolve backends "
+                    "inside the executor that owns them")

@@ -1,0 +1,142 @@
+"""RS115-RS119: the cross-module residency/dataflow rule family.
+
+Unlike the per-file AST lints (RS101-RS114), these rules are computed
+*project-wide* by :class:`repro.analysis.dataflow.ProjectAnalysis`: the
+engine builds one symbol table over every file under analysis, runs the
+abstract interpretation once, and attaches the raw findings that landed
+in each file to its :class:`~repro.analysis.engine.ModuleContext`.  The
+checkers here are thin per-file shims that route those raw findings
+through the ordinary noqa/suppression machinery, so ``# repro: noqa
+RS115`` at the *sink* line behaves exactly like it does for any other
+rule (and RS113 still notices when the suppression goes stale).
+
+Suppression is sink-side by design: the finding is anchored where the
+device value is misused, not where it was produced, so a noqa on the
+producing line does not silence it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .engine import BaseChecker, register
+from .findings import AnalysisFinding
+
+__all__ = [
+    "DeviceValueInHostMathChecker",
+    "TransferPingPongChecker",
+    "BackendHandleEscapeChecker",
+    "UntimedSubmitReachChecker",
+    "UnseededSamplingFlowChecker",
+]
+
+
+class _ProjectRuleChecker(BaseChecker):
+    """Replay the project pass's raw findings for one rule and file."""
+
+    #: Tells the engine this rule needs the cross-module dataflow pass.
+    requires_project = True
+
+    def run(self) -> List[AnalysisFinding]:
+        for raw in getattr(self.ctx, "project_findings", None) or []:
+            if raw.rule != self.rule:
+                continue
+            if self.ctx.suppressed(self.rule, raw.line):
+                continue
+            self.findings.append(AnalysisFinding(
+                rule=self.rule,
+                path=self.ctx.relpath,
+                line=raw.line,
+                col=raw.col,
+                message=raw.message,
+                context=raw.context))
+        return self.findings
+
+
+@register
+class DeviceValueInHostMathChecker(_ProjectRuleChecker):
+    """RS115: device-resident value reaching host-only math.
+
+    A value whose residency is *definitely* ``device`` (produced by
+    ``to_device`` or an executor op declared ``@residency(returns=
+    "device")``) must pass through ``to_host`` before it is consumed by
+    ``hostmath.*``, a comparison/branch condition, ``float()`` /
+    ``.item()``-style host reads, a parameter summarized as a host
+    sink, or a return from a function declared ``returns="host"``.
+    The flow is interprocedural: producing in ``gpu/device.py`` and
+    consuming in ``core/subspace.py`` is one finding at the sink.
+    """
+
+    rule = "RS115"
+    summary = ("device-resident value reaches host-only math without "
+               "to_host()")
+
+
+@register
+class TransferPingPongChecker(_ProjectRuleChecker):
+    """RS116: host/device transfer ping-pong.
+
+    Two shapes: a value uploaded with ``to_device`` and downloaded with
+    ``to_host`` with no device kernel consuming it in between (the
+    upload bought nothing), and a value that is already
+    device-resident being uploaded again.  Either way a PCIe round-trip
+    in the paper's comms fractions (Figs. 9/15) is being spent for
+    free.
+    """
+
+    rule = "RS116"
+    summary = ("transfer ping-pong: h2d followed by d2h (or re-upload) "
+               "with no device kernel in between")
+
+
+@register
+class BackendHandleEscapeChecker(_ProjectRuleChecker):
+    """RS117: backend handle escaping the executor contract.
+
+    Backend handles (from ``resolve_backend`` and friends) belong to
+    the executor that owns them.  Parking one on a module-level global,
+    passing one into ``@allow_untimed_math`` diagnostic code, or
+    returning one from a public function outside ``repro.backends``
+    all create untimed side doors around the kernel/transfer accounting
+    in ``BackendStats``.
+    """
+
+    rule = "RS117"
+    summary = ("backend handle escapes the executor contract (module "
+               "global, untimed scope, or public return)")
+
+
+@register
+class UntimedSubmitReachChecker(_ProjectRuleChecker):
+    """RS118: timed work submitted with no executor/scheduler in scope.
+
+    ``charge``/``submit``/``submit_group`` calls are modeled (timed)
+    work.  Reaching one — directly or through the call graph — from
+    module level or from inside an ``@allow_untimed_math`` scope means
+    simulated seconds are being charged from a context that declared
+    itself outside the timing contract.  Entry points guarded by
+    ``if __name__ == "__main__"`` are exempt.
+    """
+
+    rule = "RS118"
+    summary = ("timed work reachable from a scope with no "
+               "executor/scheduler accounting (module level or "
+               "@allow_untimed_math)")
+
+
+@register
+class UnseededSamplingFlowChecker(_ProjectRuleChecker):
+    """RS119: RNG not derived from ``SamplingConfig.seed`` reaches
+    sampling.
+
+    Random sketching is only reproducible when every generator chains
+    from the configured seed.  An RNG constructed with no seed (or a
+    hard-coded literal) that flows — possibly through calls — into a
+    sampling draw (``standard_normal``, ``choice``, ...) silently
+    forks the experiment's randomness.  Seeds derived from parameters,
+    attributes or config (``cfg.seed``) are blessed.
+    """
+
+    rule = "RS119"
+    summary = ("RNG not derived from SamplingConfig.seed reaches a "
+               "sampling draw")

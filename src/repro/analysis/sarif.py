@@ -1,0 +1,259 @@
+"""SARIF 2.1.0 export for analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning ingests: CI runs the analyzer with
+``--format sarif`` and uploads the result with
+``github/codeql-action/upload-sarif``, which renders findings as
+annotations on the PR diff.
+
+The emitted log is deliberately minimal but complete:
+
+- one ``run`` with a ``tool.driver`` section listing every *selected*
+  rule (id, short description, full help text from the checker
+  docstring);
+- one ``result`` per finding with ``ruleId``, ``ruleIndex``,
+  ``message.text``, a single physical location (uri + 1-based
+  startLine/startColumn region), and the baseline fingerprint under
+  ``partialFingerprints`` so code scanning tracks findings across
+  line-shifting edits exactly like our own baseline file does.
+
+:func:`validate_sarif` is a self-contained structural validator for
+the subset we emit (plus everything the 2.1.0 schema makes mandatory).
+It exists so the test suite can assert well-formedness without a
+vendored copy of the official JSON schema or network access.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .findings import AnalysisFinding
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif", "render_sarif",
+           "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_TOOL_NAME = "repro-analyze"
+_INFO_URI = "https://github.com/repro/repro"
+
+
+def _rule_descriptor(rule: str, cls) -> Dict:
+    """SARIF ``reportingDescriptor`` for one registered checker."""
+    desc: Dict = {
+        "id": rule,
+        "name": cls.__name__,
+        "shortDescription": {"text": cls.summary},
+    }
+    doc = (cls.__doc__ or "").strip()
+    if doc:
+        desc["fullDescription"] = {"text": doc.splitlines()[0].strip()}
+        desc["help"] = {"text": doc}
+    return desc
+
+
+def to_sarif(findings: Iterable[AnalysisFinding],
+             rules: Dict[str, type]) -> Dict:
+    """Build the SARIF log object (a plain JSON-able dict).
+
+    ``rules`` maps rule id -> checker class for every rule that *ran*
+    (not just those that fired) — SARIF consumers use the driver rule
+    list to know what was checked.
+    """
+    ordered = sorted(rules)
+    rule_index = {rule: i for i, rule in enumerate(ordered)}
+    results: List[Dict] = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        # SARIF columns are 1-based; ours are 0-based.
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproAnalyzeFingerprint/v1": f.fingerprint(),
+            },
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _INFO_URI,
+                    "rules": [_rule_descriptor(r, rules[r])
+                              for r in ordered],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root the analyzer scanned"}},
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: Iterable[AnalysisFinding],
+                 rules: Dict[str, type]) -> str:
+    """The SARIF log serialized for stdout / artifact upload."""
+    return json.dumps(to_sarif(findings, rules), indent=2) + "\n"
+
+
+def _fail(errors: List[str], where: str, why: str) -> None:
+    errors.append(f"{where}: {why}")
+
+
+def _require(obj: Dict, key: str, typ, errors: List[str],
+             where: str) -> object:
+    if key not in obj:
+        _fail(errors, where, f"missing required property '{key}'")
+        return None
+    val = obj[key]
+    if not isinstance(val, typ):
+        _fail(errors, where,
+              f"property '{key}' must be {typ.__name__}, "
+              f"got {type(val).__name__}")
+        return None
+    return val
+
+
+def validate_sarif(log: Dict) -> List[str]:
+    """Structurally validate a SARIF 2.1.0 log; return error strings.
+
+    Covers the properties the 2.1.0 schema marks required on the
+    objects we emit (sarifLog, run, tool, toolComponent,
+    reportingDescriptor, result, location chain) plus the value
+    constraints that matter for consumers (version string, 1-based
+    region coordinates, ruleIndex in range).  An empty return value
+    means valid.
+    """
+    errors: List[str] = []
+    if not isinstance(log, dict):
+        return ["log: top level must be an object"]
+    version = _require(log, "version", str, errors, "log")
+    if version is not None and version != SARIF_VERSION:
+        _fail(errors, "log", f"version must be '{SARIF_VERSION}'")
+    runs = _require(log, "runs", list, errors, "log")
+    if runs is None:
+        return errors
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            _fail(errors, where, "must be an object")
+            continue
+        tool = _require(run, "tool", dict, errors, where)
+        rule_ids: List[str] = []
+        if tool is not None:
+            driver = _require(tool, "driver", dict, errors,
+                              f"{where}.tool")
+            if driver is not None:
+                _require(driver, "name", str, errors,
+                         f"{where}.tool.driver")
+                for di, rule in enumerate(driver.get("rules", [])):
+                    rwhere = f"{where}.tool.driver.rules[{di}]"
+                    if not isinstance(rule, dict):
+                        _fail(errors, rwhere, "must be an object")
+                        continue
+                    rid = _require(rule, "id", str, errors, rwhere)
+                    if rid is not None:
+                        rule_ids.append(rid)
+        results = run.get("results")
+        if results is None:
+            continue
+        if not isinstance(results, list):
+            _fail(errors, where, "'results' must be an array")
+            continue
+        for fi, res in enumerate(results):
+            fwhere = f"{where}.results[{fi}]"
+            if not isinstance(res, dict):
+                _fail(errors, fwhere, "must be an object")
+                continue
+            message = _require(res, "message", dict, errors, fwhere)
+            if message is not None and not any(
+                    k in message for k in ("text", "id")):
+                _fail(errors, f"{fwhere}.message",
+                      "needs 'text' or 'id'")
+            rule_id = res.get("ruleId")
+            if rule_id is not None and not isinstance(rule_id, str):
+                _fail(errors, fwhere, "'ruleId' must be a string")
+            rule_index = res.get("ruleIndex")
+            if rule_index is not None:
+                if not isinstance(rule_index, int) or isinstance(
+                        rule_index, bool) or rule_index < 0:
+                    _fail(errors, fwhere,
+                          "'ruleIndex' must be a non-negative integer")
+                elif rule_index >= len(rule_ids):
+                    _fail(errors, fwhere,
+                          f"'ruleIndex' {rule_index} out of range for "
+                          f"{len(rule_ids)} driver rule(s)")
+                elif (isinstance(rule_id, str)
+                      and rule_ids[rule_index] != rule_id):
+                    _fail(errors, fwhere,
+                          f"'ruleIndex' points at "
+                          f"'{rule_ids[rule_index]}', not '{rule_id}'")
+            level = res.get("level")
+            if level is not None and level not in (
+                    "none", "note", "warning", "error"):
+                _fail(errors, fwhere, f"invalid 'level' {level!r}")
+            for li, loc in enumerate(res.get("locations", [])):
+                lwhere = f"{fwhere}.locations[{li}]"
+                if not isinstance(loc, dict):
+                    _fail(errors, lwhere, "must be an object")
+                    continue
+                phys = loc.get("physicalLocation")
+                if phys is None:
+                    continue
+                if not isinstance(phys, dict):
+                    _fail(errors, lwhere,
+                          "'physicalLocation' must be an object")
+                    continue
+                art = phys.get("artifactLocation")
+                if isinstance(art, dict):
+                    uri = art.get("uri")
+                    if uri is not None and not isinstance(uri, str):
+                        _fail(errors, f"{lwhere}.artifactLocation",
+                              "'uri' must be a string")
+                elif art is not None:
+                    _fail(errors, lwhere,
+                          "'artifactLocation' must be an object")
+                region = phys.get("region")
+                if isinstance(region, dict):
+                    for coord in ("startLine", "startColumn",
+                                  "endLine", "endColumn"):
+                        val = region.get(coord)
+                        if val is None:
+                            continue
+                        if not isinstance(val, int) or isinstance(
+                                val, bool) or val < 1:
+                            _fail(errors, f"{lwhere}.region",
+                                  f"'{coord}' must be an integer >= 1")
+                elif region is not None:
+                    _fail(errors, lwhere, "'region' must be an object")
+            fps = res.get("partialFingerprints")
+            if fps is not None:
+                if not isinstance(fps, dict) or not all(
+                        isinstance(k, str) and isinstance(v, str)
+                        for k, v in fps.items()):
+                    _fail(errors, fwhere,
+                          "'partialFingerprints' must map strings "
+                          "to strings")
+    return errors

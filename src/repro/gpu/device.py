@@ -29,6 +29,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis.annotations import residency
 from ..backends import resolve_backend
 from ..config import ORTH_SCHEMES
 from ..errors import (ConfigurationError, ShapeError,
@@ -122,6 +123,7 @@ def shape_of(a: ArrayLike) -> Tuple[int, ...]:
     return tuple(a.shape)
 
 
+@residency(returns="device")
 def _mm(a: ArrayLike, b: ArrayLike, backend=None) -> ArrayLike:
     """Matrix product, symbolic-aware; real data runs on ``backend``
     (a :class:`repro.backends.base.ComputeBackend`) when one is given,
@@ -251,6 +253,34 @@ class NumpyExecutor:
         """Register the input matrix before a run (used by distributed
         executors to establish the partitioned dimension; no-op here)."""
 
+    # -- transfers --------------------------------------------------------
+    @residency(returns="device")
+    def to_device(self, a: ArrayLike) -> ArrayLike:
+        """Upload ``a`` to modeled device memory.
+
+        Observation-only: the backend hook records the h2d transfer in
+        :class:`repro.backends.base.BackendStats` (host backends return
+        the array unchanged, so modeled figures are bit-identical).
+        Symbolic arrays pass through untouched.
+        """
+        if is_symbolic(a):
+            return a
+        return self.backend.to_device(a)
+
+    @residency(returns="host")
+    def to_host(self, a: ArrayLike) -> ArrayLike:
+        """Download a device-resident value back to host-canonical
+        form, recording the d2h transfer in ``BackendStats``.
+
+        This is the sanctioned crossing the RS115 residency rule looks
+        for: any definitely-device value must pass through here before
+        host-only math (``hostmath.*``, comparisons, ``float()``).
+        Symbolic arrays pass through untouched.
+        """
+        if is_symbolic(a):
+            return a
+        return self.backend.to_host(a)
+
     # -- timing hooks (overridden by device executors) --------------------
     def _t_gemm(self, m: int, n: int, k: int, phase: str) -> None: ...
     def _t_prng(self, count: int) -> None: ...
@@ -266,6 +296,7 @@ class NumpyExecutor:
     def _t_rownorms(self, rows: int, cols: int, phase: str) -> None: ...
 
     # -- operations -------------------------------------------------------
+    @residency(returns="device")
     def prng_gaussian(self, rows: int, cols: int,
                       symbolic: bool = False) -> ArrayLike:
         """Generate the ``rows x cols`` Gaussian sampling matrix Omega
@@ -278,6 +309,7 @@ class NumpyExecutor:
             return SymArray((rows, cols))
         return self.backend.standard_normal(self.rng, (rows, cols))
 
+    @residency(returns="device")
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Step 1 pruned Gaussian sampling ``B = Omega A``."""
         l, m = shape_of(omega)
@@ -285,6 +317,7 @@ class NumpyExecutor:
         self._t_gemm(l, n, m, phase="sampling")
         return _mm(omega, a, self.backend)
 
+    @residency(returns="device")
     def fft_sample(self, a: ArrayLike, l: int, axis: str = "row",
                    ) -> ArrayLike:
         """Full-FFT sampling: FFT-transform A (padded to a power of
@@ -322,6 +355,7 @@ class NumpyExecutor:
         parts = np.where(real_or_imag[:, None], picked.real, picked.imag)
         return np.ascontiguousarray(parts) * np.sqrt(2.0 * d / l)
 
+    @residency(returns="device")
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Power-iteration product ``C = B A^T``  (line 7 of Fig. 2a)."""
         l, n = shape_of(b)
@@ -329,6 +363,7 @@ class NumpyExecutor:
         self._t_gemm(l, m, n, phase="gemm_iter")
         return _mm(b, a.T, self.backend)
 
+    @residency(returns="device")
     def iter_gemm_a(self, c: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Power-iteration product ``B = C A``  (line 12 of Fig. 2a)."""
         l, m = shape_of(c)
@@ -336,6 +371,7 @@ class NumpyExecutor:
         self._t_gemm(l, n, m, phase="gemm_iter")
         return _mm(c, a, self.backend)
 
+    @residency(returns="device")
     def orth_rows(self, b: ArrayLike, scheme: str = "cholqr2",
                   phase: str = "orth_iter") -> ArrayLike:
         """Orthonormalize the rows of a short-wide block; returns Q.
@@ -382,6 +418,7 @@ class NumpyExecutor:
             return q.T
         raise ConfigurationError(f"unhandled scheme {scheme!r}")
 
+    @residency(returns="device")
     def block_orth_rows(self, q_prev: Optional[ArrayLike], v: ArrayLike,
                         reorth: bool = True,
                         phase: str = "orth_iter") -> ArrayLike:
@@ -416,6 +453,7 @@ class NumpyExecutor:
         res = qp3_blocked(np.asarray(b), k=k)
         return res.q, res.r, res.perm
 
+    @residency(returns="device")
     def take_columns(self, a: ArrayLike, idx: Union[np.ndarray,
                                                     Sequence[int]]
                      ) -> ArrayLike:
@@ -475,6 +513,7 @@ class NumpyExecutor:
         rbar = np.asarray(rbar)
         return np.hstack([rbar, self.backend.gemm(rbar, np.asarray(t))])
 
+    @residency(returns="host")
     def estimate_error(self, b_new: ArrayLike, q_prev: ArrayLike,
                        phase: str = "other") -> float:
         """Adaptive-scheme error estimate (line 15 of Fig. 3):
@@ -496,10 +535,12 @@ class NumpyExecutor:
         resid = b_new - self.backend.gemm(proj, q_prev)
         return self.backend.norm(resid, ord=2)
 
+    @residency(returns="device")
     def vstack(self, parts: Sequence[ArrayLike]) -> ArrayLike:
         """Stack sampled blocks (subspace growth in the adaptive loop)."""
         return _vstack(parts)
 
+    @residency(returns="device")
     def gemm(self, x: ArrayLike, y: ArrayLike,
              phase: str = "other") -> ArrayLike:
         """General timed product ``X Y`` for post-processing steps that
@@ -510,6 +551,7 @@ class NumpyExecutor:
         self._t_gemm(m, n, k, phase=phase)
         return _mm(x, y, self.backend)
 
+    @residency(returns="host")
     def svd_small(self, r: ArrayLike, phase: str = "other"
                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Dense SVD of a small factor (the ``l x l`` tail of the
@@ -523,6 +565,7 @@ class NumpyExecutor:
                 "matrix")
         return self.backend.svd(np.asarray(r), full_matrices=False)
 
+    @residency(returns="host")
     def row_norms(self, x: ArrayLike,
                   phase: str = "orth_iter") -> np.ndarray:
         """Per-row 2-norms (the adaptive scheme's DGKS degeneracy
