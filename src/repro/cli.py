@@ -330,6 +330,11 @@ def main(argv=None) -> int:
     if argv and argv[0] == "sweep":
         from .bench.sweep import main as sweep_main
         return sweep_main(argv[1:])
+    # `repro-bench serve ...` delegates to the serving layer (the
+    # async low-rank service loadtest; see docs/serving.md).
+    if argv and argv[0] == "serve":
+        from .serve.cli import main as serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures; "

@@ -38,7 +38,9 @@ __all__ = ["random_sampling"]
 
 def random_sampling(a: ArrayLike, config: SamplingConfig,
                     executor: Optional[NumpyExecutor] = None,
-                    check_finite: bool = True) -> LowRankFactors:
+                    check_finite: bool = True,
+                    presampled: Optional[ArrayLike] = None
+                    ) -> LowRankFactors:
     """Compute a rank-``k`` approximation ``A P ~= Q R`` by random
     sampling.
 
@@ -54,6 +56,15 @@ def random_sampling(a: ArrayLike, config: SamplingConfig,
         seeded from ``config.seed``.
     check_finite:
         Reject NaN/Inf inputs up front (disable on hot paths).
+    presampled:
+        An externally computed ``l x n`` sampled matrix ``B`` replacing
+        Step 1's draw-and-GEMM.  This is the continuous-batching hook:
+        :mod:`repro.serve` coalesces the ``Omega A`` products of
+        compatible concurrent requests into one stacked GEMM and feeds
+        each request its slice here, leaving Steps 2-3 untouched — the
+        caller is responsible for having drawn ``Omega`` exactly as a
+        solo run would (same seed, same executor PRNG stream) so
+        results stay bit-identical.
 
     Returns
     -------
@@ -84,7 +95,15 @@ def random_sampling(a: ArrayLike, config: SamplingConfig,
         raise ShapeError(f"rank {k} exceeds sample size {l}")
 
     # --- Step 1: sampling (+ power iterations) --------------------------
-    b = sample(ex, a, l, kind=config.sampler)
+    if presampled is not None:
+        bl, bn = shape_of(presampled)
+        if (bl, bn) != (l, n):
+            raise ShapeError(
+                f"presampled B is {bl} x {bn}; config expects "
+                f"l x n = {l} x {n}")
+        b = presampled
+    else:
+        b = sample(ex, a, l, kind=config.sampler)
     b, _ = power_iterate(ex, a, b, q=config.power_iterations,
                          scheme=config.orth,
                          reorthogonalize=config.reorthogonalize)

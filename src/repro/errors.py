@@ -19,6 +19,13 @@ __all__ = [
     "ConfigurationError",
     "StaticAnalysisError",
     "RaceError",
+    "ServeError",
+    "AdmissionError",
+    "QueueFullError",
+    "ServiceClosedError",
+    "InvalidRequestError",
+    "DeadlineExceededError",
+    "RequestCancelledError",
 ]
 
 
@@ -98,6 +105,77 @@ class RaceError(DeviceError):
 
 class ConfigurationError(ReproError, ValueError):
     """A configuration dataclass was constructed with invalid values."""
+
+
+#: The closed set of admission/lifecycle rejection reasons the serving
+#: layer reports (``repro.serve``); every :class:`ServeError` subclass
+#: maps onto exactly one of these so service counters, result
+#: artifacts, and tests share a single taxonomy.
+REJECTION_REASONS = ("queue_full", "closed", "invalid", "deadline",
+                     "cancelled")
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for failures raised by the :mod:`repro.serve` layer.
+
+    Every subclass carries a ``reason`` drawn from
+    :data:`REJECTION_REASONS` plus the ``request_id`` it applies to
+    (``None`` for service-wide conditions), so rejections stay
+    machine-classifiable all the way into load-test reports.
+    """
+
+    reason = "invalid"
+
+    def __init__(self, message: str, request_id=None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class AdmissionError(ServeError):
+    """A request was rejected *at submission time* by the admission
+    controller — it never entered the queue."""
+
+
+class QueueFullError(AdmissionError):
+    """Load shedding: the bounded request queue is at capacity."""
+
+    reason = "queue_full"
+
+    def __init__(self, depth: int, capacity: int, request_id=None):
+        super().__init__(
+            f"serve queue full: depth {depth} at capacity {capacity}",
+            request_id=request_id)
+        self.depth = depth
+        self.capacity = capacity
+
+
+class ServiceClosedError(AdmissionError):
+    """The service is draining or stopped and accepts no new work."""
+
+    reason = "closed"
+
+
+class InvalidRequestError(AdmissionError, ValueError):
+    """The request failed structural validation at admission."""
+
+    reason = "invalid"
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired while queued, inside the batch
+    window, or before its batch was dispatched."""
+
+    reason = "deadline"
+
+    def __init__(self, message: str, request_id=None, waited_s=None):
+        super().__init__(message, request_id=request_id)
+        self.waited_s = waited_s
+
+
+class RequestCancelledError(ServeError):
+    """The client cancelled the request before a result was produced."""
+
+    reason = "cancelled"
 
 
 class StaticAnalysisError(ReproError, RuntimeError):

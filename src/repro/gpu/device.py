@@ -191,7 +191,8 @@ class SimulatedGPU:
         self.recorder = recorder
 
     def charge(self, phase: str, seconds: float, label: str = "",
-               flops: float = 0.0, bytes_moved: float = 0.0) -> None:
+               flops: float = 0.0, bytes_moved: float = 0.0,
+               labels: Sequence[str] = ()) -> None:
         # Validate eagerly at the device layer: span attribution and
         # the timeline must never disagree on where time landed.
         if phase not in PHASES:
@@ -204,7 +205,8 @@ class SimulatedGPU:
                 phase=phase, label=label or phase, seconds=seconds,
                 flops=flops, bytes_moved=bytes_moved,
                 device_id=self.device_id,
-                memory_high_water=self.memory.high_water)
+                memory_high_water=self.memory.high_water,
+                labels=labels)
 
     def reset(self) -> None:
         """Fresh timeline and memory for a new run."""
@@ -316,6 +318,31 @@ class NumpyExecutor:
         n = shape_of(a)[1]
         self._t_gemm(l, n, m, phase="sampling")
         return _mm(omega, a, self.backend)
+
+    @residency(returns="device")
+    def sample_gemm_stacked(self, omegas: Sequence[ArrayLike],
+                            a: ArrayLike) -> list:
+        """Coalesced Step-1 sketch of a request batch:
+        ``B_i = Omega_i A`` for every rider, charged as ONE stacked
+        ``(sum l_i) x n`` GEMM.
+
+        On the modeled device the row blocks of
+        ``[Omega_1; ...; Omega_b] A`` share a single kernel launch,
+        and a GPU tile's k-loop ordering does not depend on the launch
+        grid's M dimension — each block of the stacked product is
+        bitwise the block's own product.  The host reference must
+        compute the blocks separately to honour that: host BLAS kernel
+        *dispatch* does depend on M, so a literal stacked host GEMM
+        drifts in the last bits relative to a solo run.  This is the
+        primitive behind :func:`repro.serve.batcher.run_jobs`'s
+        bit-parity guarantee.
+        """
+        if len(omegas) == 0:
+            raise ShapeError("sample_gemm_stacked needs >= 1 Omega")
+        total_l = sum(shape_of(o)[0] for o in omegas)
+        m, n = shape_of(a)
+        self._t_gemm(total_l, n, m, phase="sampling")
+        return [_mm(omega, a, self.backend) for omega in omegas]
 
     @residency(returns="device")
     def fft_sample(self, a: ArrayLike, l: int, axis: str = "row",

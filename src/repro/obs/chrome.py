@@ -106,6 +106,10 @@ def spans_to_chrome(recorder: Union[SpanRecorder, List[Span]],
                 }
                 if span.stream is not None:
                     event["args"]["stream"] = span.stream
+                if span.labels:
+                    event["args"]["labels"] = list(span.labels)
+            elif span.labels:
+                event["args"] = {"labels": list(span.labels)}
             body.append(event)
     return events + body
 

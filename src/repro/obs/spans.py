@@ -26,8 +26,9 @@ never in the totals.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..gpu.trace import PHASES
@@ -55,6 +56,9 @@ class Span:
     #: False for mirror spans of symmetric multi-device work: they
     #: appear in the tree/trace but not in the counters or totals.
     accounted: bool = True
+    #: Free-form tags (e.g. serve request ids) so concurrent requests
+    #: sharing one recorder stay distinguishable in the Chrome trace.
+    labels: Tuple[str, ...] = ()
     children: List["Span"] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -81,6 +85,7 @@ class Span:
             "bytes_moved": self.bytes_moved,
             "memory_high_water": self.memory_high_water,
             "stream": self.stream, "accounted": self.accounted,
+            "labels": list(self.labels),
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -138,6 +143,31 @@ class SpanRecorder:
         self.backend_is_model: bool = True
         #: The watched backend, polled for real wall-clock at readout.
         self._backend = None
+        #: Labels applied to every span recorded while a
+        #: :meth:`labelled` context is open (e.g. a serve request id).
+        self._labels: Tuple[str, ...] = ()
+
+    @contextmanager
+    def labelled(self, *labels: str):
+        """Tag every span recorded inside the context with ``labels``.
+
+        Serve-layer usage: the continuous batcher opens
+        ``recorder.labelled(req_a, req_b, ...)`` around a coalesced
+        kernel so the shared span lists every request riding the batch,
+        while per-request pipelines run under their own single-id
+        context.  Contexts nest; duplicate labels collapse.
+        """
+        previous = self._labels
+        merged = list(previous)
+        for lab in labels:
+            lab = str(lab)
+            if lab not in merged:
+                merged.append(lab)
+        self._labels = tuple(merged)
+        try:
+            yield self
+        finally:
+            self._labels = previous
 
     def note_backend(self, backend) -> None:
         """Register the :class:`repro.backends.base.ComputeBackend`
@@ -167,7 +197,8 @@ class SpanRecorder:
         if self._run is not None:
             raise ConfigurationError(
                 f"run {self._run.name!r} is still open; end it first")
-        self._run = Span(name=name, kind="run", start=self.clock)
+        self._run = Span(name=name, kind="run", start=self.clock,
+                         labels=self._labels)
         self.runs.append(self._run)
         return self._run
 
@@ -189,7 +220,8 @@ class SpanRecorder:
                       device_id: int = 0, memory_high_water: int = 0,
                       stream: Optional[str] = None,
                       start: Optional[float] = None,
-                      accounted: bool = True) -> Span:
+                      accounted: bool = True,
+                      labels: Sequence[str] = ()) -> Span:
         """Ingest one kernel charge.
 
         Without ``start`` the kernel is laid out sequentially at the
@@ -198,7 +230,9 @@ class SpanRecorder:
         ``stream`` name); the clock then advances to the max end seen,
         i.e. the critical path.  ``accounted=False`` records a mirror
         span (symmetric work on another device) that never touches the
-        counters, the clock, or the peak-memory aggregate.
+        counters, the clock, or the peak-memory aggregate.  ``labels``
+        (merged with any open :meth:`labelled` context) tag the span
+        with request/run identifiers for the Chrome-trace export.
         """
         if phase not in PHASES:
             raise ConfigurationError(
@@ -213,14 +247,21 @@ class SpanRecorder:
         if self._step is None or self._step.phase != phase:
             self._close_step()
             self._step = Span(name=phase, kind="step", phase=phase,
-                              start=min(self.clock, placed))
+                              start=min(self.clock, placed),
+                              labels=self._labels)
             self._run.children.append(self._step)
+        merged = list(self._labels)
+        for lab in labels:
+            lab = str(lab)
+            if lab not in merged:
+                merged.append(lab)
         kernel = Span(name=label or phase, kind="kernel", phase=phase,
                       start=placed, duration=seconds,
                       device_id=device_id, flops=flops,
                       bytes_moved=bytes_moved,
                       memory_high_water=memory_high_water,
-                      stream=stream, accounted=accounted)
+                      stream=stream, accounted=accounted,
+                      labels=tuple(merged))
         self._step.children.append(kernel)
         self._step.flops += flops
         self._step.bytes_moved += bytes_moved

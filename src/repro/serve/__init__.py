@@ -1,0 +1,47 @@
+"""``repro.serve`` — low-rank approximation as a service.
+
+An asyncio job-queue service: clients submit decomposition requests
+(a gallery matrix reference, ``k``/``tol``, an algorithm, a compute
+backend) and receive versioned result artifacts carrying factor
+metadata, modeled/wall timings, and span ids.
+
+The load-bearing idea follows the paper: random sampling turns the
+approximation into a few large GEMMs whose GPU throughput dwarfs
+per-request overheads, so many small concurrent sketch requests should
+be *coalesced* — the continuous batcher stacks the Gaussian sampling
+operators of compatible queued requests and runs one batched
+``Omega A`` product, then splits per-request slices back out
+bit-identically to solo runs.
+
+Layers (see ``docs/serving.md``):
+
+- :mod:`repro.serve.request` — :class:`MatrixRef`,
+  :class:`DecompRequest`, :class:`ResultArtifact`;
+- :mod:`repro.serve.metrics` — queue-depth / occupancy / latency
+  counters and pure-python percentiles;
+- :mod:`repro.serve.admission` — bounded queue depth, deadline
+  validation, load shedding with the typed :mod:`repro.errors`
+  rejection taxonomy;
+- :mod:`repro.serve.batcher` — compatibility grouping and the
+  coalesced sketch math;
+- :mod:`repro.serve.service` — :class:`LowRankService`, the asyncio
+  queue + batch window + worker dispatch loop;
+- :mod:`repro.serve.loadgen` — the seeded synthetic load generator
+  behind ``repro-bench serve loadtest``.
+"""
+
+from .request import (ALGORITHMS, RESULT_SCHEMA_VERSION, DecompRequest,
+                      MatrixRef, ResultArtifact)
+from .metrics import ServiceCounters, percentile
+from .admission import AdmissionController
+from .batcher import BatchPlan, plan_batches, run_jobs
+from .service import LowRankService, ServeConfig
+from .loadgen import LoadReport, LoadSpec, run_loadtest
+
+__all__ = [
+    "ALGORITHMS", "RESULT_SCHEMA_VERSION", "DecompRequest", "MatrixRef",
+    "ResultArtifact", "ServiceCounters", "percentile",
+    "AdmissionController", "BatchPlan", "plan_batches", "run_jobs",
+    "LowRankService", "ServeConfig", "LoadReport", "LoadSpec",
+    "run_loadtest",
+]

@@ -1,0 +1,91 @@
+"""Admission control: bounded queue depth and load shedding.
+
+The controller is the service's front door.  Every submission passes
+through :meth:`AdmissionController.admit` *before* touching the queue;
+an over-depth queue or a closed service raises the typed
+:mod:`repro.errors` rejection (``queue_full`` / ``closed``) and bumps
+the matching counter, so shed load is observable, not silent.
+Structural validation (``invalid``) happens even earlier, in
+:class:`repro.serve.request.DecompRequest` construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import (ConfigurationError, QueueFullError,
+                      ServiceClosedError)
+from .metrics import ServiceCounters
+from .request import DecompRequest
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Gatekeeper in front of the service queue.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued-but-undispatched requests.  Submissions arriving
+        at depth >= capacity are shed with
+        :class:`repro.errors.QueueFullError`.
+    counters:
+        The service's :class:`repro.serve.metrics.ServiceCounters`;
+        every rejection is recorded there by taxonomy reason.
+    default_deadline_s:
+        Deadline applied to requests that carry none (``None`` = no
+        implicit deadline).
+    """
+
+    def __init__(self, capacity: int,
+                 counters: Optional[ServiceCounters] = None,
+                 default_deadline_s: Optional[float] = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"admission capacity must be >= 1, got {capacity}")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ConfigurationError(
+                f"default deadline must be positive, got "
+                f"{default_deadline_s}")
+        self.capacity = capacity
+        self.counters = counters if counters is not None else \
+            ServiceCounters()
+        self.default_deadline_s = default_deadline_s
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop admitting; queued work may still drain."""
+        self._closed = True
+
+    def effective_deadline_s(self, request: DecompRequest
+                             ) -> Optional[float]:
+        """The request's deadline, falling back to the service default."""
+        if request.deadline_s is not None:
+            return request.deadline_s
+        return self.default_deadline_s
+
+    def admit(self, request: DecompRequest, depth: int) -> None:
+        """Admit ``request`` at current queue ``depth`` or shed it.
+
+        Raises
+        ------
+        ServiceClosedError
+            After :meth:`close` — clients should stop submitting.
+        QueueFullError
+            Queue depth is at capacity; the error carries both numbers
+            so clients can implement backoff.
+        """
+        if self._closed:
+            self.counters.note_rejected("closed")
+            raise ServiceClosedError(
+                f"service is closed; request {request.request_id} "
+                f"rejected", request_id=request.request_id)
+        if depth >= self.capacity:
+            self.counters.note_rejected("queue_full")
+            raise QueueFullError(depth, self.capacity,
+                                 request_id=request.request_id)

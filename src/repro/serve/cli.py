@@ -1,0 +1,113 @@
+"""``repro-bench serve ...`` — the serving-layer command group.
+
+Currently one subcommand::
+
+    repro-bench serve loadtest --clients 200 --gate \\
+        --bench BENCH_serve_smoke.json --summary summary.md
+
+runs the synthetic load generator (both arms: batcher on and off),
+prints the latency/occupancy table, optionally writes the schema-v2
+BENCH artifact and a GitHub-flavoured markdown summary, and with
+``--gate`` exits non-zero unless batching actually won (batched p99 <=
+solo p99) at real coalescing depth (max occupancy >= ``--min-occupancy``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..obs.artifact import write_artifact
+from .loadgen import LoadSpec, run_loadtest
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Serving-layer tools (see docs/serving.md).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive the service with a seeded synthetic client fleet, "
+             "batcher on vs off")
+    lt.add_argument("--clients", type=int, default=64,
+                    help="total simulated clients (default 64)")
+    lt.add_argument("--concurrency", type=int, default=16,
+                    help="clients submitting concurrently per wave "
+                         "(default 16)")
+    lt.add_argument("--matrix", default="power",
+                    help="gallery matrix name (default power)")
+    lt.add_argument("--m", type=int, default=3000,
+                    help="matrix rows (default 3000)")
+    lt.add_argument("--n", type=int, default=640,
+                    help="matrix columns (default 640)")
+    lt.add_argument("--rank-min", type=int, default=4)
+    lt.add_argument("--rank-max", type=int, default=8)
+    lt.add_argument("--oversampling", type=int, default=4)
+    lt.add_argument("--window-ms", type=float, default=12.0,
+                    help="batch window in milliseconds (default 12)")
+    lt.add_argument("--max-batch", type=int, default=16)
+    lt.add_argument("--repeats", type=int, default=3,
+                    help="measured repetitions per arm; the gate "
+                         "compares median-of-reps p99 (default 3)")
+    lt.add_argument("--deadline-s", type=float, default=None,
+                    help="per-request deadline (default: none)")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="load-stream seed (default 0)")
+    lt.add_argument("--backend", default=None,
+                    help="compute backend name (default: session "
+                         "default)")
+    lt.add_argument("--bench", metavar="PATH", default=None,
+                    help="write the BENCH_serve_*.json artifact here")
+    lt.add_argument("--summary", metavar="PATH", default=None,
+                    help="append the markdown table to PATH (e.g. "
+                         "$GITHUB_STEP_SUMMARY)")
+    lt.add_argument("--gate", action="store_true",
+                    help="exit 1 unless batched p99 <= solo p99 and "
+                         "occupancy reaches --min-occupancy")
+    lt.add_argument("--min-occupancy", type=int, default=8,
+                    help="batch occupancy the gate requires "
+                         "(default 8)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    spec = LoadSpec(clients=args.clients, concurrency=args.concurrency,
+                    matrix_name=args.matrix, m=args.m, n=args.n,
+                    rank_min=args.rank_min, rank_max=args.rank_max,
+                    oversampling=args.oversampling,
+                    window_s=args.window_ms / 1e3,
+                    max_batch=args.max_batch, repeats=args.repeats,
+                    deadline_s=args.deadline_s, seed=args.seed,
+                    backend=args.backend)
+    report = run_loadtest(spec)
+    table = report.markdown()
+    print(f"serve loadtest: {spec.clients} clients, "
+          f"{spec.concurrency}/wave, window "
+          f"{spec.window_s * 1e3:g} ms")
+    print()
+    print(table)
+    if args.bench:
+        write_artifact(args.bench, report.artifact())
+        print(f"\n[wrote {args.bench}]")
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write("### serve loadtest\n\n")
+            fh.write(table)
+            fh.write("\n")
+    if args.gate:
+        failures = report.gate(min_occupancy=args.min_occupancy)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("\ngate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
