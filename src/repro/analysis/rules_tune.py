@@ -1,0 +1,73 @@
+"""Tuning-knob hygiene: RS120 hard-coded schedule/blocking literals.
+
+The autotuner (:mod:`repro.tune`) exists so schedule and blocking
+knobs come from a searched, race-checked, cache-keyed plan — or at
+worst from a config object whose defaults are declared once.  A
+literal ``pipeline_chunks=8`` at a random call site silently pins a
+value the tuner can no longer improve, and drifts from the declared
+default without any record of why.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import BaseChecker, register
+from .rules_executor import dotted_name
+
+__all__ = ["HardcodedKnobChecker"]
+
+
+@register
+class HardcodedKnobChecker(BaseChecker):
+    """RS120: tuning knobs must come from a plan or a config object.
+
+    Flags literal numeric values passed as the known tuning-knob
+    keywords (``pipeline_chunks=``, ``cholqr_buffers=``, ``l_inc=``,
+    ``block_size=``) anywhere except: the tuner itself
+    (``repro/tune/``), the config modules that declare the defaults,
+    and the constructors of the config/plan objects those knobs are
+    *supposed* to flow through (``SamplingConfig(l_inc=...)`` is the
+    sanctioned spelling; ``adaptive_sampling(..., l_inc=8)`` via some
+    helper is not).  Values that are themselves variables, attributes,
+    or expressions pass — the rule only rejects frozen literals.
+    """
+
+    rule = "RS120"
+    summary = ("hard-coded tuning-knob literal; set it via a tuning "
+               "plan or a config object")
+
+    #: Keyword names the autotuner / config layer owns.
+    _KNOBS = ("pipeline_chunks", "cholqr_buffers", "l_inc", "block_size")
+
+    #: Trailing callee names through which literal knobs are sanctioned:
+    #: the declared-default config objects, the plan machinery, and
+    #: ``dataclasses.replace`` (how plans themselves update configs).
+    _ALLOWED_CALLEES = {
+        "SamplingConfig", "AdaptiveConfig", "QRCPConfig", "ServeConfig",
+        "TunePlan", "PlanKey", "Param", "replace", "coerce_plan_knobs",
+    }
+
+    def run(self):
+        # The tuner owns the knobs; the config modules declare the
+        # defaults the docstrings promise.
+        rel = self.ctx.relpath
+        if "repro/tune/" in rel or rel.endswith("config.py"):
+            return self.findings
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = dotted_name(node.func).rsplit(".", 1)[-1]
+        if callee not in self._ALLOWED_CALLEES:
+            for kw in node.keywords:
+                if kw.arg in self._KNOBS \
+                        and isinstance(kw.value, ast.Constant) \
+                        and isinstance(kw.value.value, (int, float)) \
+                        and not isinstance(kw.value.value, bool):
+                    self.emit(
+                        node,
+                        f"{kw.arg}={kw.value.value!r} hard-codes a "
+                        f"tuning knob at the call site; route it "
+                        f"through a repro-tune plan (plan=/auto_tune=) "
+                        f"or a config object instead")
+        self.generic_visit(node)

@@ -95,8 +95,14 @@ def write_figure_artifact(path: str, name: str,
     The schema-v2 fields record which compute backend the session ran
     on (``backend``, defaulting to the session default's name) and the
     real wall-clock seconds the driver took — the paper-model totals
-    inside the points stay modeled seconds.
+    inside the points stay modeled seconds.  Figure-level metrics carry
+    the matrix-gallery LRU counter deltas of the run
+    (``matrix_cache_{hits,misses,entries}``), mirroring the plan-cache
+    counters ``repro-bench tune --bench`` publishes; both are
+    drift-only in the ``obs diff`` gate.
     """
+    from ..matrices.registry import matrix_cache_info
+
     drivers = _obs_figures()
     try:
         driver = drivers[name]
@@ -104,9 +110,17 @@ def write_figure_artifact(path: str, name: str,
         raise ConfigurationError(
             f"figure {name!r} has no BENCH artifact export; available: "
             f"{sorted(drivers)}") from None
+    before = matrix_cache_info()
     t0 = time.perf_counter()
     record = figure_record(name, breakdown_points=driver())
     wall = time.perf_counter() - t0
+    after = matrix_cache_info()
+    cache_metrics = {
+        "matrix_cache_hits": after["hits"] - before["hits"],
+        "matrix_cache_misses": after["misses"] - before["misses"],
+        "matrix_cache_entries": after["entries"],
+    }
+    record.setdefault("metrics", {}).update(to_jsonable(cache_metrics))
     doc = build_artifact([record], label=label or name,
                          backend=backend, wall_clock_s=wall)
     write_artifact(path, doc)

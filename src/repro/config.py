@@ -52,6 +52,16 @@ def _require_backend(name: Optional[str]) -> None:
              f"got {name!r}")
 
 
+def _require_plan(plan: Optional[str], auto_tune: bool) -> None:
+    """Validate the tuning fields (the artifact itself is loaded and
+    schema-checked at application time, not construction time)."""
+    if plan is not None:
+        _require(isinstance(plan, str) and bool(plan),
+                 f"plan must be a plan-artifact path, got {plan!r}")
+        _require(not auto_tune,
+                 "pass either plan= or auto_tune=True, not both")
+
+
 @dataclass(frozen=True)
 class SamplingConfig:
     """Parameters of the fixed-rank randomized sampling algorithm (Fig. 2b).
@@ -87,6 +97,16 @@ class SamplingConfig:
         ``"torch"``, ``"cupy"``, or ``"auto"``) the pipeline's math
         should run on; ``None`` defers to ``REPRO_BACKEND`` / the
         session default.  See :mod:`repro.backends`.
+    plan:
+        Path to a ``repro-tune`` plan artifact whose schedule knobs
+        are applied to the run (executor knobs via
+        :meth:`repro.gpu.multigpu.MultiGPUExecutor.apply_plan`, config
+        knobs via :func:`repro.tune.apply_plan_to_config`).  ``None``
+        runs the hand-set defaults.
+    auto_tune:
+        Fetch — or, on a plan-cache miss, search for — the tuned plan
+        matching this run's key (shape, rank, ng, backend, overlap)
+        before executing.  Mutually exclusive with ``plan``.
     """
 
     rank: int
@@ -97,6 +117,8 @@ class SamplingConfig:
     reorthogonalize: bool = True
     seed: Optional[int] = None
     backend: Optional[str] = None
+    plan: Optional[str] = None
+    auto_tune: bool = False
 
     def __post_init__(self) -> None:
         _require(self.rank >= 1, f"rank must be >= 1, got {self.rank}")
@@ -109,6 +131,7 @@ class SamplingConfig:
         _require(self.orth in ORTH_SCHEMES,
                  f"orth must be one of {ORTH_SCHEMES}, got {self.orth!r}")
         _require_backend(self.backend)
+        _require_plan(self.plan, self.auto_tune)
 
     @property
     def sample_size(self) -> int:
@@ -152,8 +175,11 @@ class AdaptiveConfig:
     max_subspace:
         Hard cap on the subspace dimension; exceeding it raises
         :class:`repro.errors.ConvergenceError`.
-    orth, reorthogonalize, seed, backend:
-        As for :class:`SamplingConfig`.
+    orth, reorthogonalize, seed, backend, plan, auto_tune:
+        As for :class:`SamplingConfig`; a plan may additionally set
+        this config's own ``l_inc`` knob (applied through
+        :func:`repro.tune.apply_plan_to_config`, which re-runs this
+        validation).
     """
 
     tolerance: float
@@ -166,6 +192,8 @@ class AdaptiveConfig:
     reorthogonalize: bool = True
     seed: Optional[int] = None
     backend: Optional[str] = None
+    plan: Optional[str] = None
+    auto_tune: bool = False
 
     def __post_init__(self) -> None:
         _require(self.tolerance > 0.0,
@@ -183,6 +211,7 @@ class AdaptiveConfig:
             _require(self.max_subspace >= self.l_init,
                      "max_subspace must be >= l_init")
         _require_backend(self.backend)
+        _require_plan(self.plan, self.auto_tune)
 
 
 @dataclass(frozen=True)

@@ -85,25 +85,41 @@ class MultiGPUExecutor(GPUExecutor):
     the device-0 time); communication goes to the ``comms`` phase.
     ``overlap`` selects the pipelined stream schedule (on, the paper's
     runtime) or the serial sum (off, the ablation baseline);
-    ``pipeline_chunks`` is the gather pipeline depth.
+    ``pipeline_chunks`` is the gather pipeline depth and
+    ``cholqr_buffers`` the SYRK double-buffering depth of the
+    distributed CholQR — the two schedule knobs the autotuner in
+    :mod:`repro.tune` searches over.  ``plan`` accepts a
+    :class:`repro.tune.TunePlan` (or a plan-artifact path, or a bare
+    knob mapping) whose knobs override the constructor defaults; knob
+    changes move work between streams but never change phase sums or
+    the host math.
     """
+
+    #: Schedule knobs a tuning plan may set on this executor.
+    TUNABLE_KNOBS = ("pipeline_chunks", "cholqr_buffers")
 
     def __init__(self, ng: int, spec: GPUSpec = KEPLER_K40C,
                  cpu: CPUSpec = CPUSpec(),
                  seed: Optional[int] = None,
                  overlap: bool = True,
                  pipeline_chunks: int = 4,
-                 backend=None):
+                 cholqr_buffers: int = 2,
+                 backend=None,
+                 plan=None):
         if ng < 1:
             raise ConfigurationError(f"ng must be >= 1, got {ng}")
         if pipeline_chunks < 1:
             raise ConfigurationError(
                 f"pipeline_chunks must be >= 1, got {pipeline_chunks}")
+        if cholqr_buffers < 1:
+            raise ConfigurationError(
+                f"cholqr_buffers must be >= 1, got {cholqr_buffers}")
         super().__init__(spec=spec, seed=seed, backend=backend)
         self.ng = ng
         self.cpu = cpu
         self.overlap = bool(overlap)
         self.pipeline_chunks = pipeline_chunks
+        self.cholqr_buffers = cholqr_buffers
         self.devices: List[SimulatedGPU] = [
             SimulatedGPU(spec, device_id=i) for i in range(ng)]
         # Device 0 doubles as the master clock target via `self.device`.
@@ -121,6 +137,25 @@ class MultiGPUExecutor(GPUExecutor):
         #: Per-chunk completion events of the last pipelined local GEMM
         #: (consumed by `_reduce_b` to overlap the gather).
         self._chunk_events: Optional[List[StreamEvent]] = None
+        if plan is not None:
+            self.apply_plan(plan)
+
+    def apply_plan(self, plan) -> None:
+        """Apply a tuning plan's schedule knobs to this executor.
+
+        ``plan`` is a :class:`repro.tune.TunePlan`, a plan-artifact
+        path, or a bare ``{knob: value}`` mapping.  Only knobs in
+        :data:`TUNABLE_KNOBS` are accepted, with the same validation as
+        the constructor.  Apply before submitting work: knobs shape the
+        stream schedule of subsequent submissions only.
+        """
+        from ..tune.plan import coerce_plan_knobs
+        knobs = coerce_plan_knobs(plan, allowed=self.TUNABLE_KNOBS)
+        for name, value in knobs.items():
+            if value < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {value}")
+            setattr(self, name, int(value))
 
     def _memory_high_water(self, device_id: int) -> int:
         return self.devices[device_id].memory.high_water
@@ -380,12 +415,16 @@ class MultiGPUExecutor(GPUExecutor):
         """Distributed CholQR: local SYRK over c columns/rows, reduce
         the small Gram, CPU Cholesky, broadcast R_bar, local TRSM.
 
-        The SYRK runs in two buffers per pass; each buffer's partial
-        Gram goes down the ``d2h`` stream as soon as it finishes, so
-        the first transfer hides behind the second buffer's compute.
+        The SYRK runs in ``cholqr_buffers`` buffers per pass (default
+        2, the paper's double-buffering); each buffer's partial Gram
+        goes down the ``d2h`` stream as soon as it finishes, so all but
+        the last transfer hide behind later buffers' compute.  The
+        buffer count reshapes the schedule only — per-phase totals are
+        independent of it.
         """
         from .device import _words_bytes
         from .kernels import qr_flops
+        nb = self.cholqr_buffers
         small = min(rows, cols)
         long_local = self.local_rows(max(rows, cols))
         syrk = self.kernels.syrk_seconds(small, long_local)
@@ -397,28 +436,29 @@ class MultiGPUExecutor(GPUExecutor):
             8 * small * small, self.ng)
         flops = passes * qr_flops(long_local, small)
         bytes_moved = _words_bytes(flops, passes * long_local * small)
-        # Per accounted compute submission (2 SYRK buffers + 1 TRSM
+        # Per accounted compute submission (nb SYRK buffers + 1 TRSM
         # per pass): the totals are preserved exactly.
-        flops_each = flops / (passes * 3)
-        bytes_each = bytes_moved / (passes * 3)
+        flops_each = flops / (passes * (nb + 1))
+        bytes_each = bytes_moved / (passes * (nb + 1))
         label = f"mgpu-cholqr {rows}x{cols}"
         # Logical buffer names for the sanitizer: the factored panel
         # ("C" in the iteration, "Q_panel" in Step 3's tall-skinny QR),
-        # the two partial-Gram SYRK buffers, the host-side Gram legs,
+        # the partial-Gram SYRK buffers, the host-side Gram legs,
         # and the replicated Cholesky factor R_bar.
         panel = "Q_panel" if phase == "qr" else "C"
         for _ in range(passes):
             buffers = []
-            for b in range(2):
+            for b in range(nb):
                 buffers.append(self.streams.submit_group(
-                    phase, syrk / 2, placements=self._all_compute(),
-                    after_all=(b == 0), label=f"{label} syrk b{b + 1}/2",
+                    phase, syrk / nb, placements=self._all_compute(),
+                    after_all=(b == 0),
+                    label=f"{label} syrk b{b + 1}/{nb}",
                     flops=flops_each, bytes_moved=bytes_each,
                     reads=[panel], writes=[f"G_part[{b}]"]))
             for b, ev in enumerate(buffers):
                 for d in range(self.ng):
                     self.streams.submit(
-                        "comms", reduce_t / (2 * self.ng), device=d,
+                        "comms", reduce_t / (nb * self.ng), device=d,
                         stream="d2h", resources=[(HOST, "pcie")],
                         deps=[ev], label="cholqr gram/factor",
                         bytes_moved=8.0 * small * small,
@@ -427,7 +467,7 @@ class MultiGPUExecutor(GPUExecutor):
             potrf = self.streams.submit(
                 phase, cpu, device=HOST, stream="cpu", after_all=True,
                 label=f"cpu-potrf {small}",
-                reads=[f"G[{b},g{d}]" for b in range(2)
+                reads=[f"G[{b},g{d}]" for b in range(nb)
                        for d in range(self.ng)],
                 writes=["R_bar"])
             for d in range(self.ng):

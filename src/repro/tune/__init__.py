@@ -1,0 +1,31 @@
+"""repro.tune: critical-path autotuner with reproducible plan artifacts.
+
+ROADMAP item 5: let the performance model optimize itself.  The tuner
+searches the declared schedule-knob space
+(:data:`~repro.tune.space.MULTIGPU_SPACE`) against the modeled clock,
+emits a versioned JSON plan artifact (:class:`~repro.tune.plan.TunePlan`),
+and caches accepted plans — race-checked, never worse than the default
+schedule — in an LRU + on-disk plan cache keyed by ``(matrix shape, k,
+ng, backend, overlap)``.  Tuned knobs flow into real runs through the
+``plan=`` / ``auto_tune=`` fields of :class:`repro.config.SamplingConfig`
+and friends, or directly via
+:meth:`repro.gpu.multigpu.MultiGPUExecutor.apply_plan`.
+
+CLI: ``repro-bench tune {search,show,apply,clear-cache}``.
+"""
+
+from .cache import (DEFAULT_CACHE_DIR, clear_plan_cache, lookup_plan,
+                    model_fingerprint, plan_cache_info, store_plan)
+from .engine import evaluate_candidate, get_plan, tune
+from .plan import (PLAN_SCHEMA, PlanKey, TunePlan, apply_plan_to_config,
+                   coerce_plan_knobs, load_plan_file)
+from .space import MULTIGPU_SPACE, Param, ParamSpace
+
+__all__ = [
+    "PLAN_SCHEMA", "PlanKey", "TunePlan", "load_plan_file",
+    "coerce_plan_knobs", "apply_plan_to_config",
+    "Param", "ParamSpace", "MULTIGPU_SPACE",
+    "DEFAULT_CACHE_DIR", "model_fingerprint", "plan_cache_info",
+    "clear_plan_cache", "store_plan", "lookup_plan",
+    "evaluate_candidate", "tune", "get_plan",
+]

@@ -1,0 +1,181 @@
+"""The plan cache: per-process LRU plus on-disk persistence.
+
+Mirrors the matrix-gallery LRU of :mod:`repro.matrices.registry`: a
+module-level :class:`~collections.OrderedDict` keyed by the plan key's
+canonical string, hit/miss counters surfaced through
+:func:`plan_cache_info`, and an entry capacity taken from the
+``REPRO_TUNE_CACHE`` environment variable (``0`` disables caching
+entirely, including the disk tier).
+
+The disk tier lives in ``.repro-tune-cache/`` next to the analyzer's
+``.repro-analysis-cache/``: one JSON plan artifact per key, written
+atomically (tempfile + ``os.replace``), so searches survive process
+restarts.  An entry — memory or disk — is only served when its
+recorded :func:`model_fingerprint` matches the caller's: change the
+:class:`repro.gpu.specs.GPUSpec` kernel model, the CPU model, or the
+backend and every plan tuned under the old model is invalidated (and
+evicted from memory) rather than silently replayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .plan import PlanKey, TunePlan, load_plan_file
+
+__all__ = ["DEFAULT_CACHE_DIR", "model_fingerprint", "plan_cache_info",
+           "clear_plan_cache", "store_plan", "lookup_plan"]
+
+#: Conventional on-disk location, relative to the invocation directory.
+DEFAULT_CACHE_DIR = ".repro-tune-cache"
+
+#: Default LRU capacity (entries); override with REPRO_TUNE_CACHE.
+_CACHE_DEFAULT_ENTRIES = 16
+
+_CACHE: "OrderedDict[str, TunePlan]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get("REPRO_TUNE_CACHE", "").strip()
+    if not raw:
+        return _CACHE_DEFAULT_ENTRIES
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_TUNE_CACHE must be an integer, got {raw!r}") from None
+    if cap < 0:
+        raise ConfigurationError(
+            f"REPRO_TUNE_CACHE must be >= 0, got {cap}")
+    return cap
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the per-process plan LRU (the same
+    shape as :func:`repro.matrices.registry.matrix_cache_info`)."""
+    return {"hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"], "entries": len(_CACHE)}
+
+
+def clear_plan_cache(disk: bool = False,
+                     directory: Optional[str] = None) -> int:
+    """Drop the in-memory LRU (and, with ``disk=True``, every persisted
+    plan under ``directory``).  Returns the number of disk entries
+    removed."""
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = _CACHE_STATS["misses"] = 0
+    removed = 0
+    if disk:
+        root = Path(directory or DEFAULT_CACHE_DIR)
+        if root.is_dir():
+            for entry in root.glob("*.plan.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+    return removed
+
+
+def model_fingerprint(spec, cpu=None, backend: Optional[str] = None) -> str:
+    """Hash of the kernel/cost model a plan's numbers depend on.
+
+    Dataclass reprs enumerate every field deterministically, so any
+    change to the GPU spec (peak rates, transfer model anchors), the
+    CPU model, or the backend name yields a different fingerprint —
+    exactly the events that must invalidate cached plans.
+    """
+    h = hashlib.sha256()
+    h.update(repr(spec).encode("utf-8"))
+    h.update(b"\0")
+    h.update(repr(cpu).encode("utf-8"))
+    h.update(b"\0")
+    h.update((backend or "simulated").encode("utf-8"))
+    return h.hexdigest()
+
+
+def _entry_path(directory: Path, key: PlanKey) -> Path:
+    name = hashlib.sha1(key.canonical().encode("utf-8")).hexdigest()
+    return directory / f"{name}.plan.json"
+
+
+def store_plan(plan: TunePlan, directory: Optional[str] = None) -> bool:
+    """Admit an accepted plan: into the LRU and onto disk.
+
+    Returns False (and stores nothing) when caching is disabled
+    (``REPRO_TUNE_CACHE=0``).  The disk write is atomic; a failed write
+    never corrupts an existing entry.
+    """
+    capacity = _cache_capacity()
+    if capacity == 0:
+        return False
+    canon = plan.key.canonical()
+    _CACHE[canon] = plan
+    _CACHE.move_to_end(canon)
+    while len(_CACHE) > capacity:
+        _CACHE.popitem(last=False)
+    root = Path(directory or DEFAULT_CACHE_DIR)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(root), suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json())
+        os.replace(tmp, _entry_path(root, plan.key))
+    except OSError:
+        return True  # memory tier still holds the plan
+    return True
+
+
+def lookup_plan(key: PlanKey, fingerprint: str,
+                directory: Optional[str] = None
+                ) -> Optional[TunePlan]:
+    """Serve a cached plan for ``key``, or None.
+
+    Memory first, then disk (a disk hit repopulates the LRU).  A plan
+    whose recorded fingerprint differs from ``fingerprint`` is stale:
+    it is evicted from memory, never served, and left for the next
+    :func:`store_plan` to overwrite on disk.
+    """
+    if _cache_capacity() == 0:
+        return None
+    canon = key.canonical()
+    cached = _CACHE.get(canon)
+    if cached is not None:
+        if cached.model_fingerprint == fingerprint:
+            _CACHE.move_to_end(canon)
+            _CACHE_STATS["hits"] += 1
+            return cached
+        del _CACHE[canon]  # stale under the current kernel model
+    plan, path = _load_disk(key, directory)
+    if plan is not None and plan.model_fingerprint == fingerprint \
+            and plan.key == key:
+        _CACHE_STATS["hits"] += 1
+        _CACHE[canon] = plan
+        _CACHE.move_to_end(canon)
+        return plan
+    if plan is not None and plan.model_fingerprint != fingerprint \
+            and path is not None:
+        try:
+            path.unlink()  # stale on disk too: evict
+        except OSError:
+            pass
+    _CACHE_STATS["misses"] += 1
+    return None
+
+
+def _load_disk(key: PlanKey, directory: Optional[str]
+               ) -> Tuple[Optional[TunePlan], Optional[Path]]:
+    path = _entry_path(Path(directory or DEFAULT_CACHE_DIR), key)
+    if not path.is_file():
+        return None, None
+    try:
+        return load_plan_file(str(path)), path
+    except ConfigurationError:
+        return None, path

@@ -1,0 +1,348 @@
+"""``repro-bench tune`` — search, inspect, and apply tuning plans.
+
+Subcommands::
+
+    repro-bench tune search --figure fig15 --ng 3 --out fig15.plan.json
+    repro-bench tune search --figure fig15 --ng 2 --ng 3 \\
+        --bench BENCH_tune_smoke.json --summary summary.md --gate
+    repro-bench tune show fig15.plan.json
+    repro-bench tune show --figure fig15 --ng 3        # cache lookup
+    repro-bench tune apply fig15.plan.json --figure fig15
+    repro-bench tune clear-cache --disk
+
+``search`` runs the seeded critical-path search for each requested GPU
+count and (optionally) exports a schema-v2 ``BENCH_tune_*.json``
+before/after artifact: one point per ``(ng, variant)`` with the modeled
+phase breakdown and the critical-path elapsed as ``total_seconds`` —
+the values ``repro-bench obs diff`` hard-gates against the committed
+baseline.  ``--gate`` additionally exits 1 unless every tuned plan
+strictly beats the default schedule.  Exit codes follow the repo
+convention: 0 ok, 1 gate failure, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .cache import clear_plan_cache, lookup_plan, model_fingerprint, \
+    plan_cache_info
+from .engine import evaluate_candidate, tune
+from .plan import PlanKey, TunePlan, load_plan_file
+from .space import MULTIGPU_SPACE
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_GATE = 1
+EXIT_ERROR = 2
+
+
+def _add_key_args(cmd, with_figure_default: bool = True) -> None:
+    cmd.add_argument("--figure", default="fig15" if with_figure_default
+                     else None,
+                     help="figure whose representative config supplies "
+                          "m/n/k defaults (default: fig15)")
+    cmd.add_argument("--m", type=int, default=None,
+                     help="matrix rows (overrides the figure config)")
+    cmd.add_argument("--n", type=int, default=None,
+                     help="matrix cols (overrides the figure config)")
+    cmd.add_argument("--k", type=int, default=None,
+                     help="target rank (overrides the figure config)")
+    cmd.add_argument("--ng", type=int, action="append", default=None,
+                     help="GPU count; repeat for several (default: the "
+                          "figure's, e.g. 3 for fig15)")
+    cmd.add_argument("--overlap", choices=("on", "off"), default="on",
+                     help="stream schedule to tune under (default on)")
+    cmd.add_argument("--backend", default="simulated",
+                     help="compute backend name in the plan key "
+                          "(default simulated)")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="plan-cache directory (default "
+                          ".repro-tune-cache/)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench tune",
+        description="Critical-path autotuner: search the schedule-knob "
+                    "space against the modeled clock and manage the "
+                    "plan cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser(
+        "search", help="run the seeded search and emit plan artifacts")
+    _add_key_args(search)
+    search.add_argument("--seed", type=int, default=0,
+                        help="search seed (default 0; same seed, same "
+                             "plan, byte for byte)")
+    search.add_argument("--p", type=int, default=10,
+                        help="oversampling (default 10)")
+    search.add_argument("--q", type=int, default=1,
+                        help="power iterations (default 1)")
+    search.add_argument("--out", metavar="PATH", default=None,
+                        help="write the plan artifact JSON to PATH (with "
+                             "several --ng, PATH gets an .ng<N> suffix)")
+    search.add_argument("--bench", metavar="PATH", default=None,
+                        help="write a schema-v2 BENCH artifact with "
+                             "default/tuned points per ng to PATH")
+    search.add_argument("--summary", metavar="PATH", default=None,
+                        help="append a markdown summary table to PATH "
+                             "(for $GITHUB_STEP_SUMMARY)")
+    search.add_argument("--gate", action="store_true",
+                        help="exit 1 unless every tuned plan strictly "
+                             "beats the default modeled elapsed")
+    search.add_argument("--no-cache", action="store_true",
+                        help="skip plan-cache admission")
+    search.add_argument("--json", action="store_true",
+                        help="print the plan artifacts as JSON")
+
+    show = sub.add_parser(
+        "show", help="print a plan artifact (from a file or the cache)")
+    show.add_argument("plan", nargs="?", default=None,
+                      help="plan artifact path; omit to look up the "
+                           "cache by key instead")
+    _add_key_args(show, with_figure_default=False)
+    show.add_argument("--json", action="store_true",
+                      help="print raw JSON instead of a table")
+
+    apply_cmd = sub.add_parser(
+        "apply", help="run a figure config under a plan and report "
+                      "default vs tuned modeled elapsed")
+    apply_cmd.add_argument("plan", help="plan artifact path")
+    _add_key_args(apply_cmd)
+    apply_cmd.add_argument("--p", type=int, default=10,
+                           help="oversampling (default 10)")
+    apply_cmd.add_argument("--q", type=int, default=1,
+                           help="power iterations (default 1)")
+
+    clear = sub.add_parser("clear-cache",
+                           help="drop the in-memory plan LRU")
+    clear.add_argument("--disk", action="store_true",
+                       help="also delete persisted plans on disk")
+    clear.add_argument("--cache-dir", default=None,
+                       help="plan-cache directory (default "
+                            ".repro-tune-cache/)")
+    return parser
+
+
+def _resolve_keys(args) -> List[PlanKey]:
+    """Build one PlanKey per requested ng from figure defaults plus
+    explicit overrides."""
+    from ..bench.harness import OBS_RUN_CONFIGS
+    from ..errors import ConfigurationError
+
+    base: Dict[str, int] = {}
+    if args.figure:
+        try:
+            base = dict(OBS_RUN_CONFIGS[args.figure])
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown figure {args.figure!r}; available: "
+                f"{sorted(OBS_RUN_CONFIGS)}") from None
+    for name in ("m", "n", "k"):
+        value = getattr(args, name)
+        if value is not None:
+            base[name] = value
+    missing = [x for x in ("m", "n", "k") if x not in base]
+    if missing:
+        raise ConfigurationError(
+            f"plan key needs {missing}; pass --figure or --m/--n/--k")
+    ngs = args.ng if args.ng else [base.get("ng", 2)]
+    return [PlanKey(m=base["m"], n=base["n"], k=base["k"], ng=ng,
+                    backend=args.backend,
+                    overlap=(args.overlap != "off"))
+            for ng in ngs]
+
+
+def _plan_row(plan: TunePlan) -> str:
+    knobs = ",".join(f"{k}={v}" for k, v in sorted(plan.knobs.items()))
+    return (f"| {plan.key.ng} | {plan.baseline_elapsed:.6f} | "
+            f"{plan.tuned_elapsed:.6f} | {100 * plan.improvement:.2f}% | "
+            f"{knobs} | {plan.evaluations} |")
+
+
+def _print_plan(plan: TunePlan) -> None:
+    print(f"plan {plan.key.canonical()}")
+    print(f"  schema:      {plan.schema}")
+    print(f"  seed:        {plan.seed}")
+    print("  knobs:       " + ", ".join(
+        f"{k}={v}" for k, v in sorted(plan.knobs.items())))
+    print(f"  baseline:    {plan.baseline_elapsed:.6f} modeled s")
+    print(f"  tuned:       {plan.tuned_elapsed:.6f} modeled s")
+    print(f"  improvement: {100 * plan.improvement:.2f}%")
+    print(f"  evaluations: {plan.evaluations}")
+    print("  race gate:   "
+          + ("passed" if plan.race_checked else "NOT CHECKED"))
+    print(f"  fingerprint: {plan.model_fingerprint[:16]}...")
+
+
+def _bench_doc(plans: List[TunePlan], args) -> Dict:
+    """Before/after BENCH document: one point per (ng, variant), with
+    the modeled critical-path elapsed as the hard-gated total."""
+    from ..obs.artifact import build_artifact, figure_record, point
+
+    points = []
+    for plan in plans:
+        key = plan.key
+        defaults = MULTIGPU_SPACE.defaults()
+        variants = (("default", defaults), ("tuned", plan.knobs))
+        for variant, knobs in variants:
+            elapsed, breakdown = evaluate_candidate(
+                key, dict(knobs), p=args.p, q=args.q)
+            params = {"m": key.m, "n": key.n, "k": key.k,
+                      "l": key.k + args.p, "q": args.q, "ng": key.ng,
+                      "overlap": "on" if key.overlap else "off",
+                      "variant": variant}
+            points.append(point(
+                params, phases=breakdown, total_seconds=elapsed,
+                metrics={f"knob_{k}": v for k, v in sorted(knobs.items())}))
+    from ..matrices.registry import matrix_cache_info
+    metrics = {
+        "improvement_pct": {str(p.key.ng): 100 * p.improvement
+                            for p in plans},
+        "evaluations": {str(p.key.ng): p.evaluations for p in plans},
+        "plan_cache": plan_cache_info(),
+        "matrix_cache": matrix_cache_info(),
+    }
+    record = figure_record(
+        "tune", points=points, metrics=metrics,
+        meta={"seed": args.seed, "space": list(MULTIGPU_SPACE.names),
+              "race_gate": all(p.race_checked for p in plans)})
+    return build_artifact([record], label="tune", backend=args.backend)
+
+
+def _cmd_search(args) -> int:
+    from ..obs.artifact import write_artifact
+
+    keys = _resolve_keys(args)
+    plans = []
+    for key in keys:
+        plan = tune(key, seed=args.seed, p=args.p, q=args.q,
+                    use_cache=not args.no_cache, cache_dir=args.cache_dir)
+        plans.append(plan)
+        knobs = ", ".join(f"{k}={v}"
+                          for k, v in sorted(plan.knobs.items()))
+        print(f"[tuned {key.canonical()}: {plan.baseline_elapsed:.6f} -> "
+              f"{plan.tuned_elapsed:.6f} modeled s "
+              f"({100 * plan.improvement:.2f}% better, "
+              f"{plan.evaluations} evaluations, race gate passed) "
+              f"{knobs}]")
+    if args.out:
+        for plan in plans:
+            path = args.out if len(plans) == 1 \
+                else f"{args.out}.ng{plan.key.ng}"
+            plan.write(path)
+            print(f"[wrote {path}]")
+    if args.json:
+        for plan in plans:
+            print(plan.to_json(), end="")
+    if args.bench:
+        doc = _bench_doc(plans, args)
+        write_artifact(args.bench, doc)
+        npts = len(doc["figures"]["tune"]["points"])
+        print(f"[wrote {args.bench}: {npts} points, "
+              f"backend={doc['backend']}]")
+    if args.summary:
+        lines = ["## repro-bench tune", "",
+                 "| ng | default (modeled s) | tuned (modeled s) | "
+                 "improvement | knobs | evaluations |",
+                 "|---|---|---|---|---|---|"]
+        lines += [_plan_row(p) for p in plans]
+        lines.append("")
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"[appended summary to {args.summary}]")
+    if args.gate:
+        losers = [p for p in plans if p.improvement <= 0.0]
+        if losers:
+            for p in losers:
+                print(f"tune gate: no improvement on "
+                      f"{p.key.canonical()}", file=sys.stderr)
+            return EXIT_GATE
+        print(f"[gate ok: tuned beats default on all "
+              f"{len(plans)} key(s)]")
+    return EXIT_OK
+
+
+def _cmd_show(args) -> int:
+    if args.plan is not None:
+        plan = load_plan_file(args.plan)
+    else:
+        if not (args.figure or (args.m and args.n and args.k)):
+            print("tune show: pass a plan path or a key "
+                  "(--figure/--m/--n/--k plus --ng)", file=sys.stderr)
+            return EXIT_ERROR
+        keys = _resolve_keys(args)
+        if len(keys) != 1:
+            print("tune show: exactly one --ng for a cache lookup",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        from ..gpu.multigpu import CPUSpec
+        from ..gpu.specs import KEPLER_K40C
+        fingerprint = model_fingerprint(KEPLER_K40C, CPUSpec(),
+                                        keys[0].backend)
+        plan = lookup_plan(keys[0], fingerprint, directory=args.cache_dir)
+        if plan is None:
+            print(f"tune show: no cached plan for "
+                  f"{keys[0].canonical()}", file=sys.stderr)
+            return EXIT_GATE
+    if args.json:
+        print(plan.to_json(), end="")
+    else:
+        _print_plan(plan)
+    return EXIT_OK
+
+
+def _cmd_apply(args) -> int:
+    plan = load_plan_file(args.plan)
+    keys = _resolve_keys(args)
+    status = EXIT_OK
+    for key in keys:
+        default_elapsed, _ = evaluate_candidate(
+            key, MULTIGPU_SPACE.defaults(), p=args.p, q=args.q)
+        tuned_elapsed, _ = evaluate_candidate(
+            key, dict(plan.knobs), p=args.p, q=args.q, race_check=True)
+        better = 1.0 - tuned_elapsed / default_elapsed
+        tag = "ok" if tuned_elapsed <= default_elapsed else "REGRESSION"
+        print(f"[{tag}] {key.canonical()}: default "
+              f"{default_elapsed:.6f} s, plan {tuned_elapsed:.6f} s "
+              f"({100 * better:+.2f}%)")
+        if tuned_elapsed > default_elapsed:
+            status = EXIT_GATE
+    return status
+
+
+def _cmd_clear(args) -> int:
+    removed = clear_plan_cache(disk=args.disk, directory=args.cache_dir)
+    if args.disk:
+        print(f"[cleared plan cache; removed {removed} disk entr"
+              f"{'y' if removed == 1 else 'ies'}]")
+    else:
+        print("[cleared in-memory plan cache]")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    try:
+        if args.command == "search":
+            return _cmd_search(args)
+        if args.command == "show":
+            return _cmd_show(args)
+        if args.command == "apply":
+            return _cmd_apply(args)
+        return _cmd_clear(args)
+    except ReproError as exc:
+        print(f"repro-bench tune: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

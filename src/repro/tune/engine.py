@@ -1,0 +1,183 @@
+"""The seeded critical-path search engine.
+
+The tuner never measures wall clock: every candidate knob assignment is
+evaluated by running the *real algorithm control flow* symbolically on
+a fresh :class:`repro.gpu.multigpu.MultiGPUExecutor` and reading the
+modeled critical path off ``StreamScheduler.elapsed``.  Because the
+schedule knobs only reshape the event DAG (phase sums are invariant —
+see :mod:`repro.tune.space`), a lower modeled elapsed means strictly
+better compute/communication overlap, not different work.
+
+Search is coordinate descent from the space's defaults — per round,
+sweep each parameter (in a seed-shuffled order) over its full choice
+list, accepting strict improvements — followed by a neighborhood
+refinement pass over the ±1-index hypercube around the incumbent.
+Evaluations are memoized, the whole run is deterministic in ``seed``,
+and the full trace lands in the plan artifact, so re-running the
+search reproduces the plan byte for byte.
+
+Before a plan may enter the cache it must pass the happens-before race
+sanitizer at its tuned settings: the winner is re-evaluated with a
+raising :class:`repro.analysis.races.RaceChecker` attached, exactly as
+``REPRO_RACE_CHECK=1`` would attach it in production.  A knob setting
+that breaks the event ordering is therefore unshippable by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SamplingConfig
+from ..errors import ConfigurationError
+from ..gpu.device import SymArray
+from ..gpu.multigpu import CPUSpec, MultiGPUExecutor
+from ..gpu.specs import GPUSpec, KEPLER_K40C
+from .cache import lookup_plan, model_fingerprint, store_plan
+from .plan import PlanKey, TunePlan
+from .space import MULTIGPU_SPACE, ParamSpace
+
+__all__ = ["evaluate_candidate", "tune", "get_plan"]
+
+
+def _make_executor(key: PlanKey, knobs: Dict[str, int], spec: GPUSpec,
+                   cpu: CPUSpec, race_check: bool) -> MultiGPUExecutor:
+    ex = MultiGPUExecutor(ng=key.ng, spec=spec, cpu=cpu, seed=0,
+                          overlap=key.overlap, backend=key.backend,
+                          plan=dict(knobs))
+    if race_check:
+        from ..analysis.races import RaceChecker
+        ex.streams.attach_race_checker(RaceChecker(raise_on_race=True))
+    return ex
+
+
+def evaluate_candidate(key: PlanKey, knobs: Dict[str, int],
+                       p: int = 10, q: int = 1,
+                       spec: GPUSpec = KEPLER_K40C,
+                       cpu: Optional[CPUSpec] = None,
+                       race_check: bool = False
+                       ) -> Tuple[float, Dict[str, float]]:
+    """Modeled ``(elapsed, phase breakdown)`` of one knob assignment.
+
+    Runs the fixed-rank algorithm symbolically on a fresh multi-GPU
+    executor configured with ``knobs``.  With ``race_check=True`` a
+    raising race sanitizer watches the run (this is the cache-admission
+    gate; it raises :class:`repro.errors.RaceError` on any unordered
+    conflicting access).
+    """
+    if key.ng < 2:
+        raise ConfigurationError(
+            f"tuning needs a multi-GPU stream schedule (ng >= 2), got "
+            f"ng={key.ng}")
+    ex = _make_executor(key, knobs, spec, cpu or CPUSpec(), race_check)
+    cfg = SamplingConfig(rank=key.k, oversampling=p, power_iterations=q,
+                         seed=0, backend=ex.backend.name)
+    from ..core.random_sampling import random_sampling
+    res = random_sampling(SymArray((key.m, key.n)), cfg, executor=ex)
+    return res.seconds, {ph: s for ph, s in res.breakdown.items() if s > 0.0}
+
+
+def tune(key: PlanKey, space: ParamSpace = MULTIGPU_SPACE, seed: int = 0,
+         p: int = 10, q: int = 1,
+         spec: GPUSpec = KEPLER_K40C,
+         cpu: Optional[CPUSpec] = None,
+         use_cache: bool = True,
+         cache_dir: Optional[str] = None) -> TunePlan:
+    """Search ``space`` for the best schedule on ``key``; return the
+    accepted plan.
+
+    The returned plan satisfies ``tuned_elapsed <= baseline_elapsed``
+    by construction (the default assignment is evaluation #0 and is
+    only ever displaced by a strictly better candidate), has passed the
+    race sanitizer at its tuned knobs, and — with ``use_cache`` — has
+    been admitted to the plan cache (memory LRU + disk).
+    """
+    cpu = cpu or CPUSpec()
+    fingerprint = model_fingerprint(spec, cpu, key.backend)
+    rng = np.random.default_rng(seed)
+    memo: Dict[Tuple[Tuple[str, int], ...], float] = {}
+    trace: List[Dict] = []
+
+    def measure(knobs: Dict[str, int], stage: str) -> float:
+        sig = tuple(sorted(knobs.items()))
+        if sig in memo:
+            return memo[sig]
+        elapsed, _ = evaluate_candidate(key, knobs, p=p, q=q, spec=spec,
+                                        cpu=cpu)
+        memo[sig] = elapsed
+        trace.append({"step": len(trace), "stage": stage,
+                      "knobs": dict(knobs), "elapsed": elapsed,
+                      "accepted": False})
+        return elapsed
+
+    def accept() -> None:
+        trace[-1]["accepted"] = True
+
+    best = space.defaults()
+    baseline = best_elapsed = measure(best, "baseline")
+    trace[-1]["accepted"] = True  # the incumbent until beaten
+
+    # Coordinate descent: sweep one param at a time over its full
+    # choice list; repeat (with a reshuffled param order) until a whole
+    # round passes without improvement.
+    improved = True
+    while improved:
+        improved = False
+        order = list(space.names)
+        rng.shuffle(order)
+        for name in order:
+            for choice in space[name].choices:
+                if choice == best[name]:
+                    continue
+                candidate = dict(best, **{name: choice})
+                elapsed = measure(candidate, "descent")
+                if elapsed < best_elapsed:
+                    best, best_elapsed = candidate, elapsed
+                    accept()
+                    improved = True
+
+    # Neighborhood refinement: the ±1-index hypercube around the
+    # incumbent catches diagonal moves coordinate descent cannot see.
+    for candidate in space.neighborhood(best):
+        elapsed = measure(candidate, "refine")
+        if elapsed < best_elapsed:
+            best, best_elapsed = dict(candidate), elapsed
+            accept()
+
+    # Cache-admission gate: the winner must run race-free with the
+    # sanitizer in raising mode (RaceError propagates to the caller).
+    evaluate_candidate(key, best, p=p, q=q, spec=spec, cpu=cpu,
+                       race_check=True)
+
+    plan = TunePlan(key=key, knobs=dict(best), seed=seed,
+                    baseline_elapsed=baseline, tuned_elapsed=best_elapsed,
+                    model_fingerprint=fingerprint, trace=trace,
+                    race_checked=True,
+                    context={"p": p, "q": q, "spec": spec.name,
+                             "space": list(space.names)})
+    if use_cache:
+        store_plan(plan, directory=cache_dir)
+    return plan
+
+
+def get_plan(key: PlanKey, space: ParamSpace = MULTIGPU_SPACE,
+             seed: int = 0, p: int = 10, q: int = 1,
+             spec: GPUSpec = KEPLER_K40C,
+             cpu: Optional[CPUSpec] = None,
+             cache_dir: Optional[str] = None) -> TunePlan:
+    """Cached-plan lookup with search on miss (the ``auto_tune=`` path).
+
+    Serves a cached plan when one exists for ``key`` under the current
+    kernel-model fingerprint; otherwise runs :func:`tune` and admits
+    the result.  Either way the returned plan is race-checked and never
+    slower than the default schedule on the modeled clock.
+    """
+    cpu = cpu or CPUSpec()
+    fingerprint = model_fingerprint(spec, cpu, key.backend)
+    cached = lookup_plan(key, fingerprint, directory=cache_dir)
+    if cached is not None:
+        return cached
+    return tune(key, space=space, seed=seed, p=p, q=q, spec=spec, cpu=cpu,
+                cache_dir=cache_dir)

@@ -1,0 +1,238 @@
+"""The versioned, reproducible plan artifact.
+
+A :class:`TunePlan` is the durable output of one autotuner search: the
+winning knob assignment plus everything needed to reproduce it — the
+plan key (what problem it tunes), the search seed, the full evaluation
+trace, the modeled elapsed before and after, and the kernel-model
+fingerprint the numbers were computed under.  Serialization is plain
+JSON with a schema id (:data:`PLAN_SCHEMA`); writing the same search
+twice produces byte-identical artifacts (no timestamps, sorted keys).
+
+Plans are *keyed* by :class:`PlanKey` — ``(matrix shape, k, ng,
+backend, overlap)`` — and *validated* by the fingerprint: a plan tuned
+under one :class:`repro.gpu.specs.GPUSpec` is stale under another even
+though the key matches (see :mod:`repro.tune.cache`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = ["PLAN_SCHEMA", "PlanKey", "TunePlan", "load_plan_file",
+           "coerce_plan_knobs", "apply_plan_to_config"]
+
+#: Schema id stamped into (and required of) every plan artifact.
+PLAN_SCHEMA = "repro-tune-plan/1"
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """What a plan tunes: the problem identity the cache indexes on."""
+
+    m: int
+    n: int
+    k: int
+    ng: int
+    backend: str = "simulated"
+    overlap: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("m", "n", "k", "ng"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"plan key {name} must be a positive int, got "
+                    f"{value!r}")
+        if not self.backend:
+            raise ConfigurationError("plan key backend must be non-empty")
+
+    def canonical(self) -> str:
+        """Stable one-line identity (the cache key string)."""
+        return (f"m={self.m},n={self.n},k={self.k},ng={self.ng},"
+                f"backend={self.backend},"
+                f"overlap={'on' if self.overlap else 'off'}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanKey":
+        try:
+            return cls(m=int(data["m"]), n=int(data["n"]),
+                       k=int(data["k"]), ng=int(data["ng"]),
+                       backend=str(data["backend"]),
+                       overlap=bool(data["overlap"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed plan key {data!r}: {exc}") from None
+
+
+@dataclass
+class TunePlan:
+    """One accepted tuning plan (see the module docstring)."""
+
+    key: PlanKey
+    knobs: Dict[str, int]
+    seed: int
+    baseline_elapsed: float
+    tuned_elapsed: float
+    model_fingerprint: str
+    #: One entry per candidate evaluation, in search order:
+    #: ``{"step", "stage", "knobs", "elapsed", "accepted"}``.
+    trace: List[Dict[str, Any]] = field(default_factory=list)
+    #: True once the plan passed the race sanitizer at its knobs.
+    race_checked: bool = False
+    #: Evaluation context that is not part of the key (p, q, ...).
+    context: Dict[str, Any] = field(default_factory=dict)
+    schema: str = PLAN_SCHEMA
+
+    def __post_init__(self) -> None:
+        if self.schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported plan schema {self.schema!r}; expected "
+                f"{PLAN_SCHEMA!r}")
+        if not self.knobs:
+            raise ConfigurationError("a plan must set at least one knob")
+        for name, value in self.knobs.items():
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"plan knob {name!r} must be numeric, got {value!r}")
+        if self.tuned_elapsed > self.baseline_elapsed:
+            raise ConfigurationError(
+                f"plan regresses the modeled clock: tuned "
+                f"{self.tuned_elapsed:.6g}s > baseline "
+                f"{self.baseline_elapsed:.6g}s")
+
+    @property
+    def improvement(self) -> float:
+        """Fractional modeled-elapsed reduction vs the default plan."""
+        if self.baseline_elapsed <= 0:
+            return 0.0
+        return 1.0 - self.tuned_elapsed / self.baseline_elapsed
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.trace)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "key": self.key.to_dict(),
+            "knobs": dict(self.knobs),
+            "seed": self.seed,
+            "baseline_elapsed": self.baseline_elapsed,
+            "tuned_elapsed": self.tuned_elapsed,
+            "improvement": self.improvement,
+            "model_fingerprint": self.model_fingerprint,
+            "race_checked": self.race_checked,
+            "context": dict(self.context),
+            "trace": [dict(step) for step in self.trace],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TunePlan":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError("plan artifact is not a JSON object")
+        schema = data.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported plan schema {schema!r}; expected "
+                f"{PLAN_SCHEMA!r}")
+        try:
+            return cls(
+                key=PlanKey.from_dict(data["key"]),
+                knobs={str(k): v for k, v in dict(data["knobs"]).items()},
+                seed=int(data["seed"]),
+                baseline_elapsed=float(data["baseline_elapsed"]),
+                tuned_elapsed=float(data["tuned_elapsed"]),
+                model_fingerprint=str(data["model_fingerprint"]),
+                trace=[dict(s) for s in data.get("trace", [])],
+                race_checked=bool(data.get("race_checked", False)),
+                context=dict(data.get("context", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed plan artifact: {exc}") from None
+
+
+def load_plan_file(path: str) -> TunePlan:
+    """Read and validate a plan artifact from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read plan {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"malformed JSON in plan {path}: {exc}") from None
+    return TunePlan.from_dict(data)
+
+
+def coerce_plan_knobs(plan: Union[TunePlan, Mapping[str, int], str],
+                      allowed: Optional[Sequence[str]] = None
+                      ) -> Dict[str, int]:
+    """Normalize a plan reference into a knob dict.
+
+    ``plan`` may be a :class:`TunePlan`, a bare ``{knob: value}``
+    mapping, or a path to a plan artifact.  With ``allowed`` the knobs
+    are filtered to that set and an empty result is an error (the plan
+    does not apply to the target at all); without it every knob passes
+    through.
+    """
+    if isinstance(plan, TunePlan):
+        knobs: Dict[str, Any] = dict(plan.knobs)
+    elif isinstance(plan, str):
+        knobs = dict(load_plan_file(plan).knobs)
+    elif isinstance(plan, Mapping):
+        knobs = dict(plan)
+    else:
+        raise ConfigurationError(
+            f"cannot interpret {type(plan).__name__} as a plan; pass a "
+            f"TunePlan, a knob mapping, or a plan-artifact path")
+    for name, value in knobs.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"plan knob {name!r} must be numeric, got {value!r}")
+    if allowed is not None:
+        knobs = {k: v for k, v in knobs.items() if k in set(allowed)}
+        if not knobs:
+            raise ConfigurationError(
+                f"plan sets none of the target's knobs {tuple(allowed)}")
+    return knobs
+
+
+def apply_plan_to_config(config):
+    """Return ``config`` with any plan-provided fields it owns applied.
+
+    Generic ``plan=`` path for the frozen config dataclasses
+    (:class:`repro.config.SamplingConfig`,
+    :class:`repro.config.AdaptiveConfig`,
+    :class:`repro.serve.service.ServeConfig`): when the config carries a
+    ``plan`` reference, knobs whose names match the config's own fields
+    are applied via :func:`dataclasses.replace` (re-running the
+    config's validation); all other knobs are left for the executor's
+    :meth:`~repro.gpu.multigpu.MultiGPUExecutor.apply_plan`.  Configs
+    without a plan pass through unchanged.
+    """
+    plan_ref = getattr(config, "plan", None)
+    if plan_ref is None:
+        return config
+    knobs = coerce_plan_knobs(plan_ref)
+    own = {f.name for f in fields(config)} - {"plan", "auto_tune"}
+    updates = {k: v for k, v in knobs.items() if k in own}
+    if not updates:
+        return config
+    return replace(config, **updates)

@@ -1,0 +1,140 @@
+"""Declared tuning search spaces.
+
+A :class:`ParamSpace` is the contract between the search engine and an
+executor: each :class:`Param` names one schedule knob, enumerates its
+legal choices, and pins the default the untuned runtime uses.  The
+engine (:mod:`repro.tune.engine`) only ever proposes knob assignments
+drawn from a declared space, so every candidate plan is constructible
+and the default plan is always a member — which is what makes the
+"tuned is never worse than default" invariant provable by construction.
+
+The shipped :data:`MULTIGPU_SPACE` covers the two stream-schedule knobs
+of :class:`repro.gpu.multigpu.MultiGPUExecutor`: the gather pipeline
+depth (``pipeline_chunks``) and the distributed-CholQR SYRK buffer
+count (``cholqr_buffers``).  Both reshape the event DAG without moving
+any work between phases, so the modeled phase sums are invariant under
+every point of the space and only the critical path changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Param", "ParamSpace", "MULTIGPU_SPACE"]
+
+
+@dataclass(frozen=True)
+class Param:
+    """One tunable knob: a name, its legal choices, and the default."""
+
+    name: str
+    choices: Tuple[int, ...]
+    default: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("param name must be non-empty")
+        if len(self.choices) < 2:
+            raise ConfigurationError(
+                f"param {self.name!r} needs at least 2 choices, got "
+                f"{self.choices!r}")
+        if list(self.choices) != sorted(set(self.choices)):
+            raise ConfigurationError(
+                f"param {self.name!r} choices must be strictly "
+                f"increasing, got {self.choices!r}")
+        if self.default not in self.choices:
+            raise ConfigurationError(
+                f"param {self.name!r} default {self.default} is not one "
+                f"of its choices {self.choices!r}")
+
+    def index_of(self, value: int) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"{value} is not a legal choice for {self.name!r}; "
+                f"choices: {self.choices!r}") from None
+
+    def neighbors(self, value: int) -> Tuple[int, ...]:
+        """The choices adjacent to ``value`` in the ordered choice list."""
+        i = self.index_of(value)
+        out = []
+        if i > 0:
+            out.append(self.choices[i - 1])
+        if i + 1 < len(self.choices):
+            out.append(self.choices[i + 1])
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """An ordered collection of :class:`Param` (the search space)."""
+
+    params: Tuple[Param, ...]
+
+    def __post_init__(self) -> None:
+        if not self.params:
+            raise ConfigurationError("a ParamSpace needs at least 1 param")
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate param names in space: {names}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def __getitem__(self, name: str) -> Param:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise ConfigurationError(
+            f"no param {name!r} in space; have {self.names}")
+
+    def defaults(self) -> Dict[str, int]:
+        """The untuned knob assignment (the search's starting point)."""
+        return {p.name: p.default for p in self.params}
+
+    def validate(self, knobs: Mapping[str, int]) -> None:
+        """Check a knob assignment covers exactly this space's params
+        with legal choices."""
+        extra = set(knobs) - set(self.names)
+        missing = set(self.names) - set(knobs)
+        if extra or missing:
+            raise ConfigurationError(
+                f"knob assignment does not match the space: extra="
+                f"{sorted(extra)}, missing={sorted(missing)}")
+        for p in self.params:
+            p.index_of(knobs[p.name])
+
+    def neighborhood(self, knobs: Mapping[str, int]
+                     ) -> Iterator[Dict[str, int]]:
+        """Every assignment within one choice-index step of ``knobs``
+        in each dimension (the refinement neighborhood), excluding
+        ``knobs`` itself.  Deterministic enumeration order."""
+        self.validate(knobs)
+        options = [(p.name, (knobs[p.name],) + p.neighbors(knobs[p.name]))
+                   for p in self.params]
+
+        def expand(i: int, current: Dict[str, int]
+                   ) -> Iterator[Dict[str, int]]:
+            if i == len(options):
+                if current != dict(knobs):
+                    yield dict(current)
+                return
+            name, values = options[i]
+            for v in values:
+                current[name] = v
+                yield from expand(i + 1, current)
+
+        yield from expand(0, {})
+
+
+#: Schedule knobs of :class:`repro.gpu.multigpu.MultiGPUExecutor`.
+MULTIGPU_SPACE = ParamSpace((
+    Param("pipeline_chunks", (1, 2, 4, 8, 16, 32), 4),
+    Param("cholqr_buffers", (1, 2, 3, 4, 6, 8), 2),
+))
