@@ -1,0 +1,163 @@
+"""``repro-bench analyze --audit-costs``: three-way cost-model audit.
+
+RS124 statically interprets the executors' charge hooks and compares
+the totals against the Figure 5 closed forms — but a static
+interpreter can be wrong in ways that only running the code exposes
+(a charge hook the op trace misses, an op sequence that drifted from
+``repro.core.random_sampling``).  This audit closes that loop: for the
+paper's fig15 configuration (``m=150000 n=2500 k=54 p=10 q=1``, one
+device) it produces **three independent** per-phase FLOP totals and
+demands they agree to :data:`repro.analysis.shapes.DRIFT_TOLERANCE`:
+
+``static``
+    The RS124 interpreter's totals
+    (:func:`repro.analysis.shapes.static_phase_flops`) for the
+    single-device executor found in the analyzed tree — computed from
+    source text alone, never by importing it.
+``runtime``
+    An actual instrumented run: ``timed_fixed_rank`` on a symbolic
+    :class:`repro.gpu.device.SymArray` with a
+    :class:`repro.obs.spans.SpanRecorder` attached, read back from
+    ``recorder.counters[phase].flops``.  The run is symbolic, so the
+    audit is fast even at paper scale.
+``closed``
+    The Figure 5 closed forms in :mod:`repro.perfmodel.costs`,
+    evaluated by interpreting their bodies at the same dimensions
+    (times the per-step charge-convention scale from ``COST_STEPS``).
+
+Exit code follows the analyzer contract: 0 when every audited phase
+agrees pairwise, 1 on drift, 2 on configuration errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import StaticAnalysisError
+from .findings import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+from .shapes import (COST_STEPS, DRIFT_TOLERANCE, eval_cost_flops,
+                     find_cost_function, find_executor_classes,
+                     static_phase_flops)
+
+__all__ = ["AUDIT_POINT", "audit_costs", "main"]
+
+#: The fig15 configuration at ``ng=1`` (``l = k + p = 64``), chosen
+#: because it is the paper's largest phase-breakdown problem: leading
+#: terms dominate, so drift here is model drift, not rounding.
+AUDIT_POINT: Dict[str, int] = {"m": 150_000, "n": 2_500, "k": 54,
+                               "p": 10, "q": 1}
+
+
+def _build_table(paths: Sequence[Path]):
+    """Parse ``paths`` into a :class:`SymbolTable` (no cache: the audit
+    must reflect the tree on disk, not a blob)."""
+    from .callgraph import ModuleInfo, SymbolTable
+    from .engine import ModuleContext, iter_python_files
+    infos = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            raise StaticAnalysisError(
+                f"cannot parse {path}: {exc}") from exc
+        relpath = ModuleContext._normalize(path, None)
+        infos.append(ModuleInfo(path, relpath, tree))
+    return SymbolTable(infos)
+
+
+def _runtime_phase_flops(point: Dict[str, int]) -> Dict[str, float]:
+    """Per-phase charged FLOPs of one instrumented symbolic run."""
+    from ..bench.harness import timed_fixed_rank
+    from ..obs.spans import SpanRecorder
+    rec = SpanRecorder()
+    timed_fixed_rank(point["m"], point["n"], k=point["k"], p=point["p"],
+                     q=point["q"], ng=1, recorder=rec, seed=0)
+    return {phase: counter.flops
+            for phase, counter in rec.counters.items()}
+
+
+def _drift(value: float, reference: float) -> float:
+    if reference == 0.0:
+        return 0.0 if value == 0.0 else float("inf")
+    return abs(value - reference) / abs(reference)
+
+
+def audit_costs(paths: Sequence[Path],
+                tolerance: float = DRIFT_TOLERANCE,
+                out=None) -> int:
+    """Run the three-way audit; print the table; return an exit code."""
+    out = out if out is not None else sys.stdout
+    table = _build_table(paths)
+
+    executors = find_executor_classes(table)
+    chosen = None
+    for mod, cls in executors:
+        if cls.name == "GPUExecutor":
+            chosen = (mod, cls)
+            break
+    if chosen is None and executors:
+        chosen = executors[0]
+    if chosen is None:
+        print("repro-analyze: error: no charging single-device "
+              "executor class found in the analyzed paths",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    point = dict(AUDIT_POINT)
+    point["l"] = point["k"] + point["p"]
+    static, warnings = static_phase_flops(table, chosen[0], chosen[1],
+                                          point)
+    for warning in warnings:
+        print(f"[audit-costs: {warning}]", file=sys.stderr)
+    runtime = _runtime_phase_flops(point)
+
+    mod, cls = chosen
+    print(f"[audit-costs: {cls.name} ({mod.relpath}) at "
+          + " ".join(f"{k}={point[k]}" for k in ("m", "n", "k", "l", "q"))
+          + f", tolerance {tolerance:.0%}]", file=out)
+    header = (f"{'phase':<10} {'static':>12} {'runtime':>12} "
+              f"{'closed':>12} {'vs runtime':>10} {'vs closed':>10}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+
+    failed: List[str] = []
+    for phase, cost_name, arg_names, scale, _anchor in COST_STEPS:
+        fn = find_cost_function(table, cost_name)
+        closed: Optional[float] = None
+        if fn is not None:
+            closed = eval_cost_flops(
+                table, fn, {a: point[a] for a in arg_names})
+            if closed is not None:
+                closed *= scale
+        st = static.get(phase, 0.0)
+        rt = runtime.get(phase, 0.0)
+        d_rt = _drift(st, rt)
+        d_cf = _drift(st, closed) if closed is not None else float("inf")
+        ok = d_rt <= tolerance and d_cf <= tolerance
+        if not ok:
+            failed.append(phase)
+        closed_txt = f"{closed:12.4e}" if closed is not None \
+            else f"{'?':>12}"
+        print(f"{phase:<10} {st:12.4e} {rt:12.4e} {closed_txt} "
+              f"{d_rt:>9.2%} {d_cf:>9.2%}"
+              + ("" if ok else "  <-- DRIFT"), file=out)
+
+    if failed:
+        print(f"[audit-costs: DRIFT in {len(failed)} phase(s): "
+              f"{', '.join(failed)}]", file=out)
+        return EXIT_FINDINGS
+    print("[audit-costs: static, runtime, and closed-form totals "
+          "agree on every audited phase]", file=out)
+    return EXIT_CLEAN
+
+
+def main(paths: Sequence[str]) -> int:
+    try:
+        return audit_costs([Path(p) for p in paths])
+    except StaticAnalysisError as exc:
+        print(f"repro-analyze: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR

@@ -20,7 +20,12 @@ it (directly or not), while files outside its dependent cone replay
 from cache with zero re-parses.  The known precision limit is shared
 with the dataflow pass itself: name-matched method candidates can
 cross files with no import edge, so a rename in an unrelated module
-conservatively requires a cold run (``--no-cache``) to observe.
+conservatively requires a cold run (``--no-cache``) to observe.  The
+shape pass shares the limit through RS124: an executor in ``gpu/``
+is checked against closed forms in ``perfmodel/costs.py`` it never
+imports, so an edit to a cost function re-anchors RS124 findings
+correctly only for files inside the cost module's dependent cone —
+after editing ``costs.py``, a cold run re-judges everything.
 
 The cache is a local build artifact (gitignored); entries are plain
 pickles, so never point ``--cache-dir`` at untrusted data.

@@ -48,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="AST-based invariant checker for the simulated-GPU "
-                    "executor contract (rules RS101-RS119).")
+                    "executor contract (rules RS101-RS125).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to scan "
                              "(default: src/repro)")
@@ -92,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule ids and summaries, then "
                              "exit")
+    parser.add_argument("--audit-costs", action="store_true",
+                        help="three-way cost audit at the fig15 "
+                             "configuration: RS124's static per-phase "
+                             "FLOP totals vs an instrumented symbolic "
+                             "run vs the Figure 5 closed forms "
+                             "(exit 1 on drift)")
     return parser
 
 
@@ -104,6 +110,10 @@ def _split_rules(spec: Optional[str]) -> Optional[List[str]]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.audit_costs:
+        from .audit import main as audit_main
+        return audit_main(args.paths)
 
     registry = all_rules()
     if args.list_rules:

@@ -1,0 +1,1649 @@
+"""Symbolic shape & cost-consistency analysis (rules RS121-RS124).
+
+The cost model behind every figure is hand-written: ``gemm_seconds(m,
+n, k)`` calls whose arguments must agree with the shapes of the
+operands actually multiplied, and per-phase charge totals that must
+agree with the closed-form leading-order costs of Figure 5.  Nothing
+ties those together at runtime — a transposed argument charges the
+wrong seconds and every downstream timing curve silently drifts.  This
+pass closes the gap with a forward abstract interpretation over a
+**symbolic shape lattice**:
+
+- dimensions are *symbols* (the paper's ``m, n, k, l``) plus three
+  structured forms — integer constants, ``local(d)`` for
+  ``local_rows(d)`` row chunks on the multi-GPU executor, and
+  ``sum(seq[0])`` for stacked-batch totals like ``sum(shape_of(o)[0]
+  for o in omegas)``;
+- facts are seeded at ``l, m = shape_of(x)`` destructurings, at
+  ``SymArray((r, c))`` constructors, at ``@shaped(returns=, params=)``
+  declarations (:func:`repro.analysis.annotations.shaped`), and at the
+  matmul contract itself (``_mm(a, b)`` raises ``ShapeError`` unless
+  ``cols(a) == rows(b)``, so the pass may *unify* those dimensions);
+- equality is a union-find over symbols; rules fire only on *definite*
+  mismatches between fully-resolved dimension triples, so an unknown
+  dimension never convicts.
+
+Rules emitted here (per-file shims live in
+:mod:`repro.analysis.rules_shapes`; RS122/RS125 are per-file checkers
+there):
+
+======  ==============================================================
+RS121   charged-kernel shape mismatch: the ``(m, n, k)`` triple passed
+        to ``gemm_seconds``/``gemm_flops``/``_t_gemm`` matches no GEMM
+        actually computed in the function (or a ``@shaped`` return
+        declaration is contradicted by the inferred return shape)
+RS123   uncharged/double-charged branches: a GEMM-class math op
+        reachable both with and without a preceding charge, or a
+        conditional that computes in both arms but charges in one
+RS124   asymptotic drift: per-phase flop totals summed over the
+        executor's charge sites (extracted by statically interpreting
+        the charge hooks over the fixed-rank trace) disagree with the
+        Figure 5 closed forms in ``perfmodel/costs.py`` beyond leading
+        order
+======  ==============================================================
+
+RS124's static side is shared with ``repro-bench analyze
+--audit-costs`` (:mod:`repro.analysis.audit`), which additionally
+cross-checks the statically extracted totals against the
+runtime-charged totals of an instrumented symbolic run.
+
+Cache caveat (same class as the method-name caveat recorded in
+``cache.py``): RS124 relates charge sites in the executor module to
+closed forms in ``perfmodel/costs.py`` without an import edge between
+them, so after editing only the cost forms run once with
+``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import (ClassInfo, FunctionInfo, ModuleInfo, SymbolTable,
+                        call_name)
+from .dataflow import RawFinding
+
+__all__ = ["ShapeAnalysis", "Dim", "unify", "same",
+           "REF_POINTS", "COST_STEPS", "CostInterp", "ShapeVal", "OPAQUE",
+           "find_cost_function", "find_executor_classes",
+           "static_phase_flops", "eval_cost_flops"]
+
+
+RULE_SHAPE = "RS121"
+RULE_BRANCH = "RS123"
+RULE_DRIFT = "RS124"
+
+#: Call leaves whose first three positional arguments are a charged
+#: GEMM dimension triple.
+_CHARGE_TRIPLES = ("gemm_seconds", "gemm_flops", "cholesky_seconds",
+                   "_t_gemm")
+
+#: Call leaves that submit modeled time (the RS123 charge events).
+_T_HOOK = re.compile(r"^_t_[a-z0-9_]+$")
+_CHARGE_LEAVES = {"submit", "submit_group", "charge",
+                  "_charge_all", "_charge_comm", "_local_gemm"}
+
+#: Backend methods that are GEMM-class math (the RS121/RS123 ops).
+_BACKEND_MATH = {"gemm", "syrk", "trsm", "matmul"}
+
+#: Shape-preserving wrappers the pass sees through.
+_PASSTHROUGH = {"to_host", "to_device", "asarray", "ascontiguousarray",
+                "array", "ensure_all_finite", "as_2d_float"}
+
+
+# ---------------------------------------------------------------------------
+# The dimension lattice: union-find over symbolic dims
+# ---------------------------------------------------------------------------
+
+class Dim:
+    """One symbolic dimension.
+
+    ``kind`` is ``"sym"`` (a named symbol), ``"const"`` (an integer
+    literal), ``"local"`` (``local_rows(inner)``) or ``"sumof"``
+    (``sum(shape_of(o)[axis] for o in seq)``).  ``known`` marks dims
+    that name a real quantity (a destructured axis, a declared symbol);
+    fresh placeholders for unanalyzable expressions stay unknown and
+    never participate in a definite verdict.
+    """
+
+    __slots__ = ("kind", "name", "value", "inner", "seq", "axis",
+                 "known", "_parent")
+
+    def __init__(self, kind: str = "sym", name: str = "",
+                 value: Optional[int] = None,
+                 inner: Optional["Dim"] = None,
+                 seq: str = "", axis: int = 0, known: bool = True):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.inner = inner
+        self.seq = seq
+        self.axis = axis
+        self.known = known
+        self._parent = self
+
+
+def _find(d: Dim) -> Dim:
+    root = d
+    while root._parent is not root:
+        root = root._parent
+    while d._parent is not d:
+        d._parent, d = root, d._parent
+    return root
+
+
+def unify(a: Optional[Dim], b: Optional[Dim]) -> None:
+    """Record that two dimensions are equal (the matmul contract)."""
+    if a is None or b is None:
+        return
+    ra, rb = _find(a), _find(b)
+    if ra is rb:
+        return
+    # Prefer a structured/known representative so names survive.
+    if (rb.kind != "sym" and ra.kind == "sym") \
+            or (rb.known and not ra.known):
+        ra, rb = rb, ra
+    rb._parent = ra
+    if rb.known:
+        ra.known = True
+    if not ra.name and rb.name:
+        ra.name = rb.name
+
+
+def same(a: Optional[Dim], b: Optional[Dim]) -> bool:
+    """Definitely-equal under the recorded unifications."""
+    if a is None or b is None:
+        return False
+    ra, rb = _find(a), _find(b)
+    if ra is rb:
+        return True
+    if ra.kind == "const" and rb.kind == "const":
+        return ra.value == rb.value
+    if ra.kind == "local" and rb.kind == "local":
+        return same(ra.inner, rb.inner)
+    if ra.kind == "sumof" and rb.kind == "sumof":
+        return ra.seq == rb.seq and ra.axis == rb.axis
+    return False
+
+
+def _known(d: Optional[Dim]) -> bool:
+    if d is None:
+        return False
+    r = _find(d)
+    if r.kind == "local":
+        return _known(r.inner)
+    return r.known
+
+
+def dim_repr(d: Optional[Dim]) -> str:
+    if d is None:
+        return "?"
+    r = _find(d)
+    if r.kind == "const":
+        return str(r.value)
+    if r.kind == "local":
+        return f"local({dim_repr(r.inner)})"
+    if r.kind == "sumof":
+        return f"sum({r.seq}[{r.axis}])"
+    return r.name or "?"
+
+
+# ---------------------------------------------------------------------------
+# Per-function forward shape flow (RS121 + RS123)
+# ---------------------------------------------------------------------------
+
+class _ShapeFlow:
+    """Walks one function, tracking variable shapes and the charge
+    interval (min/max charges issued so far on any path)."""
+
+    def __init__(self, analysis: "ShapeAnalysis", mod: ModuleInfo,
+                 fn: FunctionInfo):
+        self.analysis = analysis
+        self.table = analysis.table
+        self.mod = mod
+        self.fn = fn
+        #: var -> ("arr", (Dim, Dim)) | ("dim", Dim) | ("shapetup", tuple)
+        self.env: Dict[str, Tuple[str, object]] = {}
+        #: sequence var -> element shape (for stacked batches).
+        self.elem_shapes: Dict[str, Tuple[Dim, Dim]] = {}
+        self._consts: Dict[int, Dim] = {}
+        self.decl_syms: Dict[str, Dim] = {}
+        self.bound_syms: Set[str] = set()
+        self.charges: List[Tuple[Tuple[Dim, Dim, Dim], ast.Call]] = []
+        self.ops: List[Tuple[Tuple[Dim, Dim, Dim], ast.AST]] = []
+        self.lo = 0
+        self.hi = 0
+        self.timed = _timed_scope(mod)
+        self._seen_if: Set[int] = set()
+
+    # -- dim/shape helpers -----------------------------------------------
+    def fresh(self, name: str = "", known: bool = False) -> Dim:
+        return Dim("sym", name=name, known=known)
+
+    def const(self, value: int) -> Dim:
+        if value not in self._consts:
+            self._consts[value] = Dim("const", value=value)
+        return self._consts[value]
+
+    def decl_sym(self, symbol: str) -> Dim:
+        if symbol not in self.decl_syms:
+            self.decl_syms[symbol] = Dim("sym", name=symbol, known=True)
+        return self.decl_syms[symbol]
+
+    def var_shape(self, name: str) -> Tuple[Dim, Dim]:
+        tagged = self.env.get(name)
+        if tagged is not None and tagged[0] == "arr":
+            return tagged[1]
+        shape = (self.fresh(f"{name}.0"), self.fresh(f"{name}.1"))
+        self.env[name] = ("arr", shape)
+        return shape
+
+    def elem_shape(self, seq: str) -> Tuple[Dim, Dim]:
+        if seq not in self.elem_shapes:
+            self.elem_shapes[seq] = (
+                Dim("sym", name=f"{seq}[i].0", known=True),
+                Dim("sym", name=f"{seq}[i].1", known=True))
+        return self.elem_shapes[seq]
+
+    def shape_of_expr(self, node: ast.expr) -> Optional[Tuple[Dim, Dim]]:
+        val = self.eval(node)
+        if val is not None and val[0] == "arr":
+            return val[1]
+        if isinstance(node, ast.Name):
+            return self.var_shape(node.id)
+        return None
+
+    def dim_of_value(self, node: ast.expr,
+                     val: Optional[Tuple[str, object]]) -> Optional[Dim]:
+        if val is not None and val[0] == "dim":
+            return val[1]
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return self.const(node.value)
+        return None
+
+    # -- analysis entry ---------------------------------------------------
+    def analyze(self) -> None:
+        self._seed_params()
+        try:
+            for stmt in self.fn.node.body:
+                self.stmt(stmt)
+        except RecursionError:  # pragma: no cover - pathological nesting
+            return
+        self._check_charges()
+
+    def _seed_params(self) -> None:
+        decl = self.fn.shaped
+        for pname in self.fn.params:
+            shape_decl = decl.get(pname)
+            if shape_decl is None:
+                continue
+            if isinstance(shape_decl, str):
+                self.env[pname] = ("dim", self.decl_sym(shape_decl))
+                self.bound_syms.add(shape_decl)
+            elif isinstance(shape_decl, tuple) and len(shape_decl) == 2:
+                self.env[pname] = ("arr", (self.decl_sym(shape_decl[0]),
+                                           self.decl_sym(shape_decl[1])))
+                self.bound_syms.update(shape_decl)
+
+    def _bind(self, target: ast.expr, value_node: ast.expr,
+              val: Optional[Tuple[str, object]]) -> None:
+        if isinstance(target, ast.Name):
+            if val is not None:
+                self.env[target.id] = val
+            else:
+                self.env.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # ``l, m = shape_of(x)``: name the axes and mark them known
+            # — this is the pass's main seeding point.
+            if val is not None and val[0] in ("shapetup", "arr") \
+                    and len(target.elts) == len(val[1]):
+                for elt, dim in zip(target.elts, val[1]):
+                    if isinstance(elt, ast.Name):
+                        root = _find(dim)
+                        root.known = True
+                        # The destructured name is the human name for
+                        # this axis; it wins over any placeholder.
+                        root.name = elt.id
+                        self.env[elt.id] = ("dim", dim)
+                return
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    self.env.pop(elt.id, None)
+
+    # -- statements --------------------------------------------------------
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            val = self.eval(node.value)
+            for target in node.targets:
+                self._bind(target, node.value, val)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            val = self.eval(node.value)
+            self._bind(node.target, node.value, val)
+        elif isinstance(node, ast.AugAssign):
+            self.eval(node.value)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                val = self.eval(node.value)
+                self._check_return(node, val)
+        elif isinstance(node, ast.If):
+            self._stmt_if(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.eval(node.iter)
+            if isinstance(node.target, ast.Name) \
+                    and isinstance(node.iter, ast.Name):
+                self.env[node.target.id] = (
+                    "arr", self.elem_shape(node.iter.id))
+            pre_lo = self.lo
+            for child in node.body:
+                self.stmt(child)
+            for child in node.orelse:
+                self.stmt(child)
+            # Zero-iteration possibility: charges inside may not happen.
+            self.lo = pre_lo
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            pre_lo = self.lo
+            for child in node.body:
+                self.stmt(child)
+            self.lo = pre_lo
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.eval(item.context_expr)
+            for child in node.body:
+                self.stmt(child)
+        elif isinstance(node, ast.Try):
+            for child in node.body:
+                self.stmt(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self.stmt(child)
+            for child in node.orelse + node.finalbody:
+                self.stmt(child)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            return  # nested scopes are out of model
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _stmt_if(self, node: ast.If) -> None:
+        self.eval(node.test)
+        saved_env = dict(self.env)
+        lo0, hi0 = self.lo, self.hi
+        for child in node.body:
+            self.stmt(child)
+        body_env, body_lo, body_hi = self.env, self.lo, self.hi
+        self.env = dict(saved_env)
+        self.lo, self.hi = lo0, hi0
+        for child in node.orelse:
+            self.stmt(child)
+        else_env, else_lo, else_hi = self.env, self.lo, self.hi
+        self.env = _merge_env(body_env, else_env)
+        self.lo = min(body_lo, else_lo)
+        self.hi = max(body_hi, else_hi)
+        self._check_if_arms(node)
+
+    def _check_if_arms(self, node: ast.If) -> None:
+        """RS123: both arms compute, only one charges."""
+        if not self.timed or id(node) in self._seen_if:
+            return
+        self._seen_if.add(id(node))
+        if not node.orelse:
+            return
+        body_math = _first_math(node.body)
+        else_math = _first_math(node.orelse)
+        if body_math is None or else_math is None:
+            return
+        body_charges = _contains_charge(node.body)
+        else_charges = _contains_charge(node.orelse)
+        if body_charges == else_charges:
+            return
+        anchor = else_math if body_charges else body_math
+        self.analysis.emit(
+            RULE_BRANCH, self.mod, anchor,
+            "both arms of this conditional compute GEMM-class math but "
+            "only one arm charges the kernel model; the uncharged arm's "
+            "seconds vanish from the modeled timeline",
+            self.fn.qualname)
+
+    # -- expressions -------------------------------------------------------
+    def eval(self, node: ast.expr) -> Optional[Tuple[str, object]]:
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) \
+                    and not isinstance(node.value, bool):
+                return ("dim", self.const(node.value))
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value)
+            if base is not None and base[0] == "arr":
+                if node.attr == "T":
+                    return ("arr", (base[1][1], base[1][0]))
+                if node.attr == "shape":
+                    return ("shapetup", base[1])
+            if node.attr == "shape" and isinstance(node.value, ast.Name):
+                return ("shapetup", self.var_shape(node.value.id))
+            return None
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left)
+            right = self.eval(node.right)
+            if isinstance(node.op, ast.MatMult):
+                ls = left[1] if left and left[0] == "arr" else \
+                    self.shape_of_expr(node.left)
+                rs = right[1] if right and right[0] == "arr" else \
+                    self.shape_of_expr(node.right)
+                return self._math_op(node, ls, rs)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self.eval(elt)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            a = self.eval(node.body)
+            b = self.eval(node.orelse)
+            if a is not None and b is not None and a[0] == b[0] == "dim" \
+                    and same(a[1], b[1]):
+                return a
+            return None
+        # Generic: walk children for nested charges/ops.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return None
+
+    def _comprehension(self, node) -> None:
+        saved: Dict[str, Optional[Tuple[str, object]]] = {}
+        for gen in node.generators:
+            self.eval(gen.iter)
+            if isinstance(gen.target, ast.Name) \
+                    and isinstance(gen.iter, ast.Name):
+                saved[gen.target.id] = self.env.get(gen.target.id)
+                self.env[gen.target.id] = (
+                    "arr", self.elem_shape(gen.iter.id))
+            for cond in gen.ifs:
+                self.eval(cond)
+        self.eval(node.elt)
+        for name, old in saved.items():
+            if old is None:
+                self.env.pop(name, None)
+            else:
+                self.env[name] = old
+        return None
+
+    def _subscript(self, node: ast.Subscript) -> Optional[Tuple]:
+        base = self.eval(node.value)
+        sl = node.slice
+        if base is not None and base[0] == "shapetup":
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+                shape = base[1]
+                if 0 <= sl.value < len(shape):
+                    dim = shape[sl.value]
+                    _find(dim).known = True
+                    return ("dim", dim)
+            return None
+        if base is not None and base[0] == "arr":
+            rows, cols = base[1]
+            if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+                r = self._slice_dim(sl.elts[0], rows)
+                c = self._slice_dim(sl.elts[1], cols)
+                return ("arr", (r, c))
+            if isinstance(sl, ast.Slice):
+                return ("arr", (self._slice_dim(sl, rows), cols))
+        if sl is not None and isinstance(sl, ast.expr):
+            self.eval(sl)
+        return None
+
+    def _slice_dim(self, sl: ast.expr, full: Dim) -> Dim:
+        if isinstance(sl, ast.Slice):
+            if sl.lower is None and sl.upper is None:
+                return full
+            if sl.lower is None and sl.upper is not None:
+                d = self.dim_of_value(sl.upper, self.eval(sl.upper))
+                if d is not None:
+                    return d
+            return self.fresh()
+        return self.fresh()
+
+    # -- calls -------------------------------------------------------------
+    def _call(self, node: ast.Call) -> Optional[Tuple[str, object]]:
+        dotted = call_name(node.func)
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+        argvals = [self.eval(a) for a in node.args]
+        kwvals = {kw.arg: self.eval(kw.value) for kw in node.keywords
+                  if kw.arg}
+        if not dotted:
+            self.eval(node.func)
+
+        # sum(shape_of(o)[axis] for o in seq) -> a SumOf dimension.
+        if leaf == "sum" and len(node.args) == 1:
+            sd = self._sum_dim(node.args[0])
+            if sd is not None:
+                return ("dim", sd)
+
+        if leaf == "shape_of" and node.args:
+            shape = self.shape_of_expr(node.args[0])
+            if shape is not None:
+                return ("shapetup", shape)
+            return None
+
+        if leaf == "local_rows" and node.args:
+            inner = self.dim_of_value(node.args[0], argvals[0])
+            if inner is not None:
+                return ("dim", Dim("local", inner=inner,
+                                   known=_known(inner)))
+            return None
+
+        if leaf == "SymArray" and node.args \
+                and isinstance(node.args[0], (ast.Tuple, ast.List)) \
+                and len(node.args[0].elts) == 2:
+            dims = []
+            for elt in node.args[0].elts:
+                d = self.dim_of_value(elt, self.eval(elt))
+                dims.append(d if d is not None else self.fresh())
+            return ("arr", tuple(dims))
+
+        if leaf in _PASSTHROUGH and node.args:
+            first = argvals[0]
+            if first is not None and first[0] == "arr":
+                return first
+            if isinstance(node.args[0], ast.Name):
+                return ("arr", self.var_shape(node.args[0].id))
+            return None
+
+        # GEMM-class math: _mm(x, y) / <...>.backend.gemm(x, y) / x @ y.
+        if self._is_math_call(node, dotted, leaf) and len(node.args) >= 2:
+            ls = self.shape_of_expr(node.args[0])
+            rs = self.shape_of_expr(node.args[1])
+            return self._math_op(node, ls, rs)
+
+        # Charged dimension triples.
+        if leaf in _CHARGE_TRIPLES and len(node.args) >= 3:
+            dims = []
+            for arg, val in zip(node.args[:3], argvals[:3]):
+                dims.append(self.dim_of_value(arg, val))
+            if all(d is not None for d in dims):
+                self.charges.append((tuple(dims), node))
+            if leaf == "_t_gemm":
+                self._charge_event(node)
+            return None
+
+        # RS123 charge events.
+        if self._is_charge_call(node, dotted, leaf):
+            self._charge_event(node)
+            return None
+
+        # Calls into @shaped-declared functions.
+        callee = self._resolve_callee(node, dotted, leaf)
+        if callee is not None and callee.shaped:
+            return self._apply_shaped(callee, node, dotted, argvals, kwvals)
+        return None
+
+    def _sum_dim(self, arg: ast.expr) -> Optional[Dim]:
+        if not isinstance(arg, ast.GeneratorExp) or len(arg.generators) != 1:
+            return None
+        gen = arg.generators[0]
+        if not (isinstance(gen.target, ast.Name)
+                and isinstance(gen.iter, ast.Name) and not gen.ifs):
+            return None
+        elt = arg.elt
+        axis = None
+        if isinstance(elt, ast.Subscript) \
+                and isinstance(elt.slice, ast.Constant) \
+                and isinstance(elt.slice.value, int):
+            base = elt.value
+            axis = elt.slice.value
+            ok = (isinstance(base, ast.Call)
+                  and call_name(base.func).rsplit(".", 1)[-1] == "shape_of"
+                  and base.args
+                  and isinstance(base.args[0], ast.Name)
+                  and base.args[0].id == gen.target.id) \
+                or (isinstance(base, ast.Attribute)
+                    and base.attr == "shape"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == gen.target.id)
+            if not ok:
+                return None
+        if axis is None:
+            return None
+        self.elem_shape(gen.iter.id)  # ensure element dims exist
+        return Dim("sumof", seq=gen.iter.id, axis=axis, known=True)
+
+    def _is_math_call(self, node: ast.Call, dotted: str, leaf: str) -> bool:
+        if leaf == "_mm":
+            return True
+        if leaf in _BACKEND_MATH and isinstance(node.func, ast.Attribute):
+            receiver = call_name(node.func.value)
+            return receiver.split(".")[-1] == "backend"
+        return False
+
+    def _is_charge_call(self, node: ast.Call, dotted: str,
+                        leaf: str) -> bool:
+        if not isinstance(node.func, ast.Attribute):
+            return leaf in ("submit", "submit_group")
+        return bool(_T_HOOK.match(leaf)) or leaf in _CHARGE_LEAVES
+
+    def _charge_event(self, node: ast.Call) -> None:
+        self.lo += 1
+        self.hi += 1
+
+    def _math_op(self, node: ast.AST,
+                 ls: Optional[Tuple[Dim, Dim]],
+                 rs: Optional[Tuple[Dim, Dim]]) -> Optional[Tuple]:
+        if ls is None or rs is None:
+            return None
+        # The matmul contract: cols(x) == rows(y) or ShapeError.
+        unify(ls[1], rs[0])
+        self.ops.append(((ls[0], rs[1], ls[1]), node))
+        if self.timed and self.lo == 0 and self.hi > 0:
+            self.analysis.emit(
+                RULE_BRANCH, self.mod, node,
+                "GEMM-class math reachable both with and without a "
+                "preceding kernel charge; on the uncharged path its "
+                "seconds never reach the modeled timeline",
+                self.fn.qualname)
+        return ("arr", (ls[0], rs[1]))
+
+    # -- @shaped resolution ------------------------------------------------
+    def _resolve_callee(self, node: ast.Call, dotted: str,
+                        leaf: str) -> Optional[FunctionInfo]:
+        if not dotted:
+            return None
+        if dotted.startswith("self.") and dotted.count(".") == 1 \
+                and self.fn.class_name:
+            cls = self.mod.classes.get(self.fn.class_name)
+            if cls is not None:
+                return self.table.resolve_method(self.mod, cls, leaf)
+            return None
+        fn = self.table.resolve_function(self.mod, dotted)
+        if fn is not None:
+            return fn
+        if "." in dotted:
+            cands = [f for f in self.table.methods_named(leaf) if f.shaped]
+            if cands and all(c.shaped == cands[0].shaped for c in cands):
+                return cands[0]
+        return None
+
+    def _apply_shaped(self, callee: FunctionInfo, node: ast.Call,
+                      dotted: str, argvals, kwvals
+                      ) -> Optional[Tuple[str, object]]:
+        decl = callee.shaped
+        params = callee.params
+        if callee.is_method and "." in dotted and params \
+                and params[0] in ("self", "cls"):
+            params = params[1:]
+        binding: Dict[str, Dim] = {}
+
+        def sym(s: str) -> Dim:
+            if s not in binding:
+                binding[s] = Dim("sym", name=s, known=True)
+            return binding[s]
+
+        argmap: Dict[str, Tuple[ast.expr, object]] = {}
+        for i, (arg, val) in enumerate(zip(node.args, argvals)):
+            if i < len(params):
+                argmap[params[i]] = (arg, val)
+        for kw in node.keywords:
+            if kw.arg:
+                argmap[kw.arg] = (kw.value, kwvals.get(kw.arg))
+
+        for pname, shape_decl in decl.items():
+            if pname == "return" or pname not in argmap:
+                continue
+            arg, val = argmap[pname]
+            if isinstance(shape_decl, str):
+                d = self.dim_of_value(arg, val)
+                unify(sym(shape_decl), d)
+            elif isinstance(shape_decl, tuple) and len(shape_decl) == 2:
+                shape = val[1] if (val is not None and val[0] == "arr") \
+                    else self.shape_of_expr(arg)
+                if shape is not None:
+                    unify(sym(shape_decl[0]), shape[0])
+                    unify(sym(shape_decl[1]), shape[1])
+
+        ret = decl.get("return")
+        if isinstance(ret, str):
+            return ("dim", sym(ret))
+        if isinstance(ret, tuple) and len(ret) == 2:
+            return ("arr", (sym(ret[0]), sym(ret[1])))
+        return None
+
+    # -- verdicts ----------------------------------------------------------
+    def _check_return(self, node: ast.Return,
+                      val: Optional[Tuple[str, object]]) -> None:
+        ret = self.fn.shaped.get("return")
+        if not (isinstance(ret, tuple) and len(ret) == 2):
+            return
+        if val is None or val[0] != "arr":
+            return
+        inferred = val[1]
+        for symbol, got in zip(ret, inferred):
+            if symbol not in self.bound_syms:
+                continue
+            want = self.decl_sym(symbol)
+            if _known(got) and not same(want, got):
+                self.analysis.emit(
+                    RULE_SHAPE, self.mod, node,
+                    f"@shaped declares this function returns "
+                    f"({', '.join(ret)}) but the body returns "
+                    f"({dim_repr(inferred[0])}, {dim_repr(inferred[1])})",
+                    self.fn.qualname)
+                return
+
+    def _compatible(self, c: Dim, o: Dim) -> bool:
+        if same(c, o):
+            return True
+        rc = _find(c)
+        if rc.kind == "local" and same(rc.inner, o):
+            return True
+        if rc.kind == "sumof":
+            elems = self.elem_shapes.get(rc.seq)
+            if elems is not None and rc.axis < len(elems) \
+                    and same(elems[rc.axis], o):
+                return True
+        return False
+
+    def _check_charges(self) -> None:
+        known_ops = [(triple, n) for triple, n in self.ops
+                     if all(_known(d) for d in triple)]
+        if not known_ops:
+            return
+        for triple, node in self.charges:
+            if not all(_known(d) for d in triple):
+                continue
+            if any(all(self._compatible(c, o)
+                       for c, o in zip(triple, op_triple))
+                   for op_triple, _ in known_ops):
+                continue
+            charged = ", ".join(dim_repr(d) for d in triple)
+            nearest = ", ".join(dim_repr(d) for d in known_ops[0][0])
+            self.analysis.emit(
+                RULE_SHAPE, self.mod, node,
+                f"charged GEMM dimensions ({charged}) match no operand "
+                f"shape computed in this function (nearest op is "
+                f"({nearest})); the kernel model is billing the wrong "
+                f"problem size",
+                self.fn.qualname)
+
+
+def _merge_env(a: Dict[str, Tuple], b: Dict[str, Tuple]) -> Dict[str, Tuple]:
+    out: Dict[str, Tuple] = {}
+    for name, va in a.items():
+        vb = b.get(name)
+        if vb is None or va[0] != vb[0]:
+            continue
+        if va[0] == "dim" and same(va[1], vb[1]):
+            out[name] = va
+        elif va[0] in ("arr", "shapetup") \
+                and all(same(x, y) for x, y in zip(va[1], vb[1])):
+            out[name] = va
+    return out
+
+
+def _timed_scope(mod: ModuleInfo) -> bool:
+    if "repro/gpu/" in mod.relpath:
+        return True
+    targets = set(mod.imports.values()) | set(mod.from_imports.values())
+    return any(t == "repro.gpu.streams"
+               or t.startswith("repro.gpu.streams.")
+               for t in targets)
+
+
+def _is_math_node(node: ast.AST) -> bool:
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = call_name(node.func)
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+        if leaf == "_mm":
+            return True
+        if leaf in _BACKEND_MATH and isinstance(node.func, ast.Attribute):
+            return call_name(node.func.value).split(".")[-1] == "backend"
+    return False
+
+
+def _is_charge_node(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = call_name(node.func)
+    leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+    if isinstance(node.func, ast.Attribute):
+        return bool(_T_HOOK.match(leaf)) or leaf in _CHARGE_LEAVES
+    return leaf in ("submit", "submit_group")
+
+
+def _first_math(stmts: Sequence[ast.stmt]) -> Optional[ast.AST]:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if _is_math_node(node):
+                return node
+    return None
+
+
+def _contains_charge(stmts: Sequence[ast.stmt]) -> bool:
+    return any(_is_charge_node(node)
+               for stmt in stmts for node in ast.walk(stmt))
+
+
+# ---------------------------------------------------------------------------
+# The restricted charge interpreter (RS124 + --audit-costs static side)
+# ---------------------------------------------------------------------------
+
+class _Opaque:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<opaque>"
+
+
+OPAQUE = _Opaque()
+
+
+class ShapeVal:
+    """A shape-only array stub (the interpreter's SymArray)."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Tuple):
+        self.dims = tuple(dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShapeVal{self.dims}"
+
+
+class InstanceVal:
+    """An instance of an analyzed class, with writable attrs."""
+
+    __slots__ = ("cls", "mod", "attrs")
+
+    def __init__(self, cls: ClassInfo, mod: ModuleInfo):
+        self.cls = cls
+        self.mod = mod
+        self.attrs: Dict[str, object] = {}
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Raise(Exception):
+    pass
+
+
+class _Budget(Exception):
+    pass
+
+
+class CostInterp:
+    """Statically interprets executor methods, recording every charge.
+
+    A deliberately restricted concrete interpreter over the symbol
+    table: arithmetic, tuples, comparisons, branches with resolvable
+    tests, ``for`` over concrete ranges, and cross-module calls that
+    resolve inside the analyzed set.  Arrays are :class:`ShapeVal`
+    stubs and ``is_symbolic`` is ``True``, so method bodies follow
+    exactly the path a real symbolic (``SymArray``) run takes — charges
+    first, math skipped.  Everything it cannot resolve becomes
+    ``OPAQUE`` and is never guessed at; an unresolvable charge records
+    a warning instead of a number.
+    """
+
+    def __init__(self, table: SymbolTable, budget: int = 200_000):
+        self.table = table
+        self.sinks: List[Tuple[object, object]] = []
+        self.warnings: List[str] = []
+        self._budget = budget
+        self._depth = 0
+        self._const_cache: Dict[Tuple[str, str], object] = {}
+
+    # -- public ------------------------------------------------------------
+    def call_method(self, inst: InstanceVal, name: str,
+                    args: Sequence[object],
+                    kwargs: Optional[Dict[str, object]] = None) -> object:
+        fn = self.table.resolve_method(inst.mod, inst.cls, name)
+        if fn is None:
+            self.warnings.append(f"method {name} not found on "
+                                 f"{inst.cls.name}")
+            return OPAQUE
+        return self._run_function(fn, [inst] + list(args), kwargs or {})
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for phase, flops in self.sinks:
+            if not isinstance(phase, str):
+                continue
+            value = flops if isinstance(flops, (int, float)) \
+                and not isinstance(flops, bool) else 0.0
+            totals[phase] = totals.get(phase, 0.0) + float(value)
+        return totals
+
+    def eval_function(self, fn: FunctionInfo,
+                      kwargs: Dict[str, object]) -> Dict[str, object]:
+        """Run a module-level function, returning its final local env
+        (how cost closed forms expose their ``flops`` variable)."""
+        env: Dict[str, object] = {}
+        try:
+            self._bind_params(fn, [], dict(kwargs), env)
+            self._exec_body(fn, env)
+        except _Return:
+            pass
+        except (_Raise, _Budget):
+            pass
+        return env
+
+    # -- function machinery ------------------------------------------------
+    def _run_function(self, fn: FunctionInfo, args: Sequence[object],
+                      kwargs: Dict[str, object]) -> object:
+        if self._depth > 12:
+            self.warnings.append(f"call depth exceeded at {fn.qualname}")
+            return OPAQUE
+        self._depth += 1
+        env: Dict[str, object] = {}
+        try:
+            self._bind_params(fn, args, kwargs, env)
+            self._exec_body(fn, env)
+            return None
+        except _Return as ret:
+            return ret.value
+        except (_Raise, _Budget):
+            return OPAQUE
+        finally:
+            self._depth -= 1
+
+    def _bind_params(self, fn: FunctionInfo, args: Sequence[object],
+                     kwargs: Dict[str, object],
+                     env: Dict[str, object]) -> None:
+        node = fn.node
+        names = fn.params
+        defaults = node.args.defaults
+        # Align defaults to the tail of the positional parameter list.
+        offset = len(names) - len(defaults)
+        for i, name in enumerate(names):
+            if i < len(args):
+                env[name] = args[i]
+            elif name in kwargs:
+                env[name] = kwargs.pop(name)
+            elif i >= offset:
+                env[name] = self._eval(defaults[i - offset], env, fn)
+            else:
+                env[name] = OPAQUE
+        for kwarg, default in zip(node.args.kwonlyargs,
+                                  node.args.kw_defaults):
+            name = kwarg.arg
+            if name in kwargs:
+                env[name] = kwargs.pop(name)
+            elif default is not None:
+                env[name] = self._eval(default, env, fn)
+            else:
+                env[name] = OPAQUE
+
+    def _exec_body(self, fn: FunctionInfo, env: Dict[str, object]) -> None:
+        for stmt in fn.node.body:
+            self._exec(stmt, env, fn)
+
+    # -- statements --------------------------------------------------------
+    def _exec(self, node: ast.stmt, env: Dict[str, object],
+              fn: FunctionInfo) -> None:
+        self._budget -= 1
+        if self._budget <= 0:
+            raise _Budget()
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value, env, fn)
+            for target in node.targets:
+                self._assign(target, value, env, fn)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._assign(node.target,
+                             self._eval(node.value, env, fn), env, fn)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                current = env.get(node.target.id, OPAQUE)
+                delta = self._eval(node.value, env, fn)
+                env[node.target.id] = _arith(node.op, current, delta)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value, env, fn)
+        elif isinstance(node, ast.Return):
+            raise _Return(self._eval(node.value, env, fn)
+                          if node.value is not None else None)
+        elif isinstance(node, ast.If):
+            test = self._eval(node.test, env, fn)
+            if isinstance(test, _Opaque):
+                # Pure-raise guard bodies are validation: skip them.
+                if all(isinstance(s, ast.Raise) for s in node.body):
+                    for child in node.orelse:
+                        self._exec(child, env, fn)
+                elif node.orelse \
+                        and all(isinstance(s, ast.Raise)
+                                for s in node.orelse):
+                    for child in node.body:
+                        self._exec(child, env, fn)
+                else:
+                    self.warnings.append(
+                        f"unresolved branch at {fn.qualname}:"
+                        f"{node.lineno}")
+            elif test:
+                for child in node.body:
+                    self._exec(child, env, fn)
+            else:
+                for child in node.orelse:
+                    self._exec(child, env, fn)
+        elif isinstance(node, ast.For):
+            iterable = self._eval(node.iter, env, fn)
+            if isinstance(iterable, (range, list, tuple)):
+                for item in list(iterable)[:256]:
+                    self._assign(node.target, item, env, fn)
+                    for child in node.body:
+                        self._exec(child, env, fn)
+            else:
+                if any(_is_charge_node(n) for s in node.body
+                       for n in ast.walk(s)):
+                    self.warnings.append(
+                        f"skipped loop with charges at {fn.qualname}:"
+                        f"{node.lineno}")
+        elif isinstance(node, ast.While):
+            self.warnings.append(
+                f"skipped while loop at {fn.qualname}:{node.lineno}") \
+                if any(_is_charge_node(n) for s in node.body
+                       for n in ast.walk(s)) else None
+        elif isinstance(node, ast.With):
+            for child in node.body:
+                self._exec(child, env, fn)
+        elif isinstance(node, ast.Try):
+            for child in node.body:
+                self._exec(child, env, fn)
+        elif isinstance(node, ast.Raise):
+            raise _Raise()
+        elif isinstance(node, (ast.Pass, ast.Assert, ast.Import,
+                               ast.ImportFrom, ast.Global, ast.Delete,
+                               ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef, ast.Break, ast.Continue)):
+            return
+
+    def _assign(self, target: ast.expr, value: object,
+                env: Dict[str, object], fn: FunctionInfo) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (tuple, list)) \
+                    and len(value) == len(target.elts):
+                for elt, item in zip(target.elts, value):
+                    self._assign(elt, item, env, fn)
+            else:
+                for elt in target.elts:
+                    self._assign(elt, OPAQUE, env, fn)
+        elif isinstance(target, ast.Attribute):
+            base = self._eval(target.value, env, fn)
+            if isinstance(base, InstanceVal):
+                base.attrs[target.attr] = value
+
+    # -- expressions -------------------------------------------------------
+    def _eval(self, node: ast.expr, env: Dict[str, object],
+              fn: FunctionInfo) -> object:
+        self._budget -= 1
+        if self._budget <= 0:
+            raise _Budget()
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in ("True", "False", "None"):  # pragma: no cover
+                return {"True": True, "False": False,
+                        "None": None}[node.id]
+            return self._module_const(fn.owner, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env, fn)
+            if isinstance(base, InstanceVal):
+                return base.attrs.get(node.attr, OPAQUE)
+            if isinstance(base, ShapeVal):
+                if node.attr == "T":
+                    return ShapeVal(base.dims[::-1])
+                if node.attr == "shape":
+                    return base.dims
+            return OPAQUE
+        if isinstance(node, ast.BinOp):
+            return _arith(node.op, self._eval(node.left, env, fn),
+                          self._eval(node.right, env, fn))
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env, fn)
+            if isinstance(operand, _Opaque):
+                return OPAQUE
+            try:
+                if isinstance(node.op, ast.USub):
+                    return -operand
+                if isinstance(node.op, ast.Not):
+                    return not operand
+                if isinstance(node.op, ast.UAdd):
+                    return +operand
+            except TypeError:
+                return OPAQUE
+            return OPAQUE
+        if isinstance(node, ast.BoolOp):
+            result = None
+            for value_node in node.values:
+                result = self._eval(value_node, env, fn)
+                if isinstance(result, _Opaque):
+                    return OPAQUE
+                if isinstance(node.op, ast.And) and not result:
+                    return result
+                if isinstance(node.op, ast.Or) and result:
+                    return result
+            return result
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env, fn)
+        if isinstance(node, ast.IfExp):
+            test = self._eval(node.test, env, fn)
+            if isinstance(test, _Opaque):
+                return OPAQUE
+            return self._eval(node.body if test else node.orelse, env, fn)
+        if isinstance(node, ast.Call):
+            return self._call(node, env, fn)
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(e, env, fn) for e in node.elts)
+        if isinstance(node, ast.List):
+            return [self._eval(e, env, fn) for e in node.elts]
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value, env, fn)
+            if isinstance(node.slice, ast.Slice):
+                return self._slice(base, node.slice, env, fn, axis=0)
+            if isinstance(node.slice, ast.Tuple) \
+                    and len(node.slice.elts) == 2 \
+                    and isinstance(base, ShapeVal):
+                out = base
+                for axis, sl in enumerate(node.slice.elts):
+                    if isinstance(sl, ast.Slice):
+                        out = self._slice(out, sl, env, fn, axis=axis)
+                return out
+            index = self._eval(node.slice, env, fn)
+            if isinstance(base, (tuple, list)) and isinstance(index, int):
+                if -len(base) <= index < len(base):
+                    return base[index]
+            return OPAQUE
+        if isinstance(node, ast.JoinedStr):
+            return OPAQUE
+        if isinstance(node, ast.GeneratorExp):
+            return self._genexp(node, env, fn)
+        if isinstance(node, ast.ListComp):
+            gen = self._genexp(node, env, fn)
+            return list(gen) if not isinstance(gen, _Opaque) else OPAQUE
+        return OPAQUE
+
+    def _slice(self, base: object, sl: ast.Slice,
+               env: Dict[str, object], fn: FunctionInfo,
+               axis: int) -> object:
+        if not isinstance(base, ShapeVal) or axis >= len(base.dims):
+            return OPAQUE
+        full = base.dims[axis]
+        if not isinstance(full, int):
+            return OPAQUE
+        lower = self._eval(sl.lower, env, fn) if sl.lower else 0
+        upper = self._eval(sl.upper, env, fn) if sl.upper else full
+        if not isinstance(lower, int) or not isinstance(upper, int):
+            return OPAQUE
+        lower = max(0, lower if lower >= 0 else full + lower)
+        upper = min(full, upper if upper >= 0 else full + upper)
+        dims = list(base.dims)
+        dims[axis] = max(0, upper - lower)
+        return ShapeVal(tuple(dims))
+
+    def _genexp(self, node, env: Dict[str, object],
+                fn: FunctionInfo) -> object:
+        if len(node.generators) != 1:
+            return OPAQUE
+        gen = node.generators[0]
+        iterable = self._eval(gen.iter, env, fn)
+        if not isinstance(iterable, (range, list, tuple)):
+            return OPAQUE
+        out = []
+        for item in list(iterable)[:256]:
+            self._assign(gen.target, item, env, fn)
+            if all(self._eval(c, env, fn) for c in gen.ifs):
+                out.append(self._eval(node.elt, env, fn))
+        return out
+
+    def _compare(self, node: ast.Compare, env: Dict[str, object],
+                 fn: FunctionInfo) -> object:
+        left = self._eval(node.left, env, fn)
+        for op, comp in zip(node.ops, node.comparators):
+            right = self._eval(comp, env, fn)
+            if isinstance(op, ast.Is):
+                result = left is right or (left is None and right is None)
+            elif isinstance(op, ast.IsNot):
+                result = not (left is right
+                              or (left is None and right is None))
+            elif isinstance(left, _Opaque) or isinstance(right, _Opaque):
+                return OPAQUE
+            else:
+                try:
+                    if isinstance(op, ast.Eq):
+                        result = left == right
+                    elif isinstance(op, ast.NotEq):
+                        result = left != right
+                    elif isinstance(op, ast.Lt):
+                        result = left < right
+                    elif isinstance(op, ast.LtE):
+                        result = left <= right
+                    elif isinstance(op, ast.Gt):
+                        result = left > right
+                    elif isinstance(op, ast.GtE):
+                        result = left >= right
+                    elif isinstance(op, ast.In):
+                        result = left in right
+                    elif isinstance(op, ast.NotIn):
+                        result = left not in right
+                    else:
+                        return OPAQUE
+                except TypeError:
+                    return OPAQUE
+            if not result:
+                return False
+            left = right
+        return True
+
+    # -- calls -------------------------------------------------------------
+    def _call(self, node: ast.Call, env: Dict[str, object],
+              fn: FunctionInfo) -> object:
+        dotted = call_name(node.func)
+        leaf = dotted.rsplit(".", 1)[-1] if dotted else ""
+
+        # Charge sinks: record (phase, flops) and move on.
+        if isinstance(node.func, ast.Attribute) \
+                and leaf in ("charge", "submit", "submit_group"):
+            phase = self._eval(node.args[0], env, fn) if node.args \
+                else OPAQUE
+            flops: object = 0.0
+            for kw in node.keywords:
+                if kw.arg == "flops":
+                    flops = self._eval(kw.value, env, fn)
+                elif kw.arg is not None:
+                    self._eval(kw.value, env, fn)
+            if isinstance(phase, _Opaque) or isinstance(flops, _Opaque):
+                self.warnings.append(
+                    f"unresolved charge at {fn.qualname}:{node.lineno}")
+            self.sinks.append((phase, flops))
+            return OPAQUE
+
+        args = [self._eval(a, env, fn) for a in node.args
+                if not isinstance(a, ast.Starred)]
+        kwargs = {kw.arg: self._eval(kw.value, env, fn)
+                  for kw in node.keywords if kw.arg}
+
+        intrinsic = self._intrinsic(leaf, node, args, env, fn)
+        if intrinsic is not NotImplemented:
+            return intrinsic
+
+        # Method on an analyzed instance.
+        if isinstance(node.func, ast.Attribute):
+            base = self._eval(node.func.value, env, fn)
+            if isinstance(base, InstanceVal):
+                target = self.table.resolve_method(base.mod, base.cls, leaf)
+                if target is not None:
+                    return self._run_function(target, [base] + args, kwargs)
+            return OPAQUE
+
+        # Plain or imported function / class in the analyzed set.
+        owner = fn.owner
+        target = self.table.resolve_function(owner, dotted)
+        if target is not None:
+            return self._run_function(target, args, kwargs)
+        cls = self.table.resolve_class(owner, dotted)
+        if cls is not None:
+            if cls.name == "SymArray" and args \
+                    and isinstance(args[0], tuple):
+                return ShapeVal(args[0])
+            return InstanceVal(cls, cls.owner)
+        return OPAQUE
+
+    def _intrinsic(self, leaf: str, node: ast.Call,
+                   args: List[object], env: Dict[str, object],
+                   fn: FunctionInfo) -> object:
+        if leaf == "shape_of":
+            return args[0].dims if args \
+                and isinstance(args[0], ShapeVal) else OPAQUE
+        if leaf == "is_symbolic":
+            return True
+        if leaf == "isinstance":
+            if args and isinstance(args[0], ShapeVal) \
+                    and "SymArray" in ast.dump(node.args[1]):
+                return True
+            return OPAQUE
+        if leaf == "SymArray":
+            return ShapeVal(args[0]) if args \
+                and isinstance(args[0], tuple) else OPAQUE
+        if leaf in ("min", "max", "abs", "float", "int", "len", "sum",
+                    "round", "bool"):
+            if any(isinstance(a, _Opaque) for a in args):
+                return OPAQUE
+            try:
+                impl = {"min": min, "max": max, "abs": abs,
+                        "float": float, "int": int, "len": len,
+                        "sum": sum, "round": round, "bool": bool}[leaf]
+                return impl(*args)
+            except (TypeError, ValueError):
+                return OPAQUE
+        if leaf == "range":
+            if all(isinstance(a, int) for a in args) \
+                    and len(args) in (1, 2, 3):
+                return range(*args)
+            return OPAQUE
+        if leaf == "getattr":
+            if len(args) >= 3 and isinstance(args[0], _Opaque):
+                return args[2]
+            return OPAQUE
+        return NotImplemented
+
+    # -- module constants --------------------------------------------------
+    def _module_const(self, mod: Optional[ModuleInfo],
+                      name: str, _depth: int = 0) -> object:
+        if mod is None or _depth > 4:
+            return OPAQUE
+        key = (mod.name, name)
+        if key in self._const_cache:
+            return self._const_cache[key]
+        self._const_cache[key] = OPAQUE  # cycle guard
+        value: object = OPAQUE
+        for assign in mod.module_assigns:
+            for target in assign.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = self._const_expr(assign.value, mod, _depth)
+        if isinstance(value, _Opaque):
+            target_name = mod.from_imports.get(name)
+            if target_name and "." in target_name:
+                owner, leaf = target_name.rsplit(".", 1)
+                owner_mod = self.table.modules.get(owner)
+                if owner_mod is not None:
+                    value = self._module_const(owner_mod, leaf, _depth + 1)
+        self._const_cache[key] = value
+        return value
+
+    def _const_expr(self, node: ast.expr, mod: ModuleInfo,
+                    _depth: int) -> object:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = [self._const_expr(e, mod, _depth) for e in node.elts]
+            if any(isinstance(i, _Opaque) for i in items):
+                return OPAQUE
+            return tuple(items) if isinstance(node, ast.Tuple) else items
+        if isinstance(node, ast.Name):
+            return self._module_const(mod, node.id, _depth + 1)
+        if isinstance(node, ast.BinOp):
+            return _arith(node.op, self._const_expr(node.left, mod, _depth),
+                          self._const_expr(node.right, mod, _depth))
+        return OPAQUE
+
+
+def _arith(op: ast.operator, left: object, right: object) -> object:
+    if isinstance(left, _Opaque) or isinstance(right, _Opaque):
+        return OPAQUE
+    try:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.Div):
+            return left / right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        if isinstance(op, ast.Pow):
+            return left ** right
+    except (TypeError, ZeroDivisionError, ValueError):
+        return OPAQUE
+    return OPAQUE
+
+
+# ---------------------------------------------------------------------------
+# RS124: the fixed-rank trace and the Figure 5 step table
+# ---------------------------------------------------------------------------
+
+#: Reference evaluation points (the paper's regime: k <= l << n <= m,
+#: all distinct so a transposed argument cannot evaluate coincidentally
+#: equal).
+REF_POINTS: Tuple[Dict[str, int], ...] = (
+    {"m": 15000, "n": 3000, "l": 64, "k": 54, "q": 2},
+    {"m": 9000, "n": 2000, "l": 32, "k": 24, "q": 1},
+)
+
+#: (phase, Figure 5 cost function, its arguments, charged/closed-form
+#: scale, anchor op).  The ``qr`` scale of 2 is the CholQR2 convention:
+#: the runtime charges both passes of the reorthogonalized factorization
+#: while the closed form counts a single QR (see perfmodel/costs.py).
+COST_STEPS: Tuple[Tuple[str, str, Tuple[str, ...], float, str], ...] = (
+    ("sampling", "gaussian_sampling_cost", ("m", "n", "l"), 1.0,
+     "sample_gemm"),
+    ("gemm_iter", "power_iteration_mult_cost", ("m", "n", "l", "q"), 1.0,
+     "iter_gemm_at"),
+    ("orth_iter", "power_iteration_orth_cost", ("m", "n", "l", "q"), 1.0,
+     "orth_rows"),
+    ("qrcp", "qrcp_sampled_cost", ("n", "l", "k"), 1.0, "qrcp_sampled"),
+    ("qr", "qr_selected_cost", ("m", "k"), 2.0, "qr_selected"),
+)
+
+#: Relative drift beyond which RS124 fires.  Generous enough for the
+#: lower-order terms the closed forms keep (e.g. ``2k^3/3``) and the
+#: small charges sharing a phase (TRSM in ``other``), tight enough that
+#: a wrong leading coefficient or a swapped dimension always trips it.
+DRIFT_TOLERANCE = 0.05
+
+
+def find_executor_classes(table: SymbolTable
+                          ) -> List[Tuple[ModuleInfo, ClassInfo]]:
+    """Charging single-device executor classes: they resolve the
+    algorithm ops and the ``_t_gemm`` hook, and none of their own
+    methods split work with ``local_rows`` (distributed executors
+    charge per-device shapes — RS121's ``local()`` compatibility covers
+    those instead)."""
+    out = []
+    for mod in table.all_modules:
+        for cls in mod.classes.values():
+            if table.resolve_method(mod, cls, "sample_gemm") is None:
+                continue
+            if table.resolve_method(mod, cls, "_t_gemm") is None:
+                continue
+            if any("local_rows" in ast.dump(fn.node)
+                   for base in _class_chain(table, mod, cls)
+                   for fn in base.methods.values()):
+                continue
+            out.append((mod, cls))
+    return out
+
+
+def _class_chain(table: SymbolTable, mod: ModuleInfo,
+                 cls: ClassInfo) -> List[ClassInfo]:
+    """``cls`` plus every resolvable base, in MRO-ish order."""
+    chain: List[ClassInfo] = []
+    seen: Set[Tuple[str, str]] = set()
+    queue: List[Tuple[ModuleInfo, ClassInfo]] = [(mod, cls)]
+    while queue:
+        owner_mod, owner = queue.pop(0)
+        if (owner.module, owner.name) in seen:
+            continue
+        seen.add((owner.module, owner.name))
+        chain.append(owner)
+        for base in owner.bases:
+            base_cls = table.resolve_class(owner_mod, base)
+            if base_cls is not None:
+                queue.append((base_cls.owner, base_cls))
+    return chain
+
+
+def static_phase_flops(table: SymbolTable, mod: ModuleInfo,
+                       cls: ClassInfo, point: Dict[str, int]
+                       ) -> Tuple[Dict[str, float], List[str]]:
+    """Per-phase charged flops of one fixed-rank run, extracted by
+    statically interpreting the executor's charge hooks over the
+    algorithm's op sequence (Figure 2b; the sequence mirrors
+    ``repro.core.random_sampling`` + ``power_iterate``, and
+    ``--audit-costs`` cross-checks it against an actual instrumented
+    run so the two cannot drift apart silently)."""
+    m, n, l, k, q = (point["m"], point["n"], point["l"], point["k"],
+                     point["q"])
+    interp = CostInterp(table)
+    inst = InstanceVal(cls, mod)
+    a = ShapeVal((m, n))
+    interp.call_method(inst, "prng_gaussian", [l, m])
+    interp.call_method(inst, "sample_gemm", [ShapeVal((l, m)), a])
+    for _ in range(q):
+        interp.call_method(inst, "block_orth_rows",
+                           [None, ShapeVal((l, n))])
+        interp.call_method(inst, "orth_rows", [ShapeVal((l, n))])
+        interp.call_method(inst, "iter_gemm_at", [ShapeVal((l, n)), a])
+        interp.call_method(inst, "block_orth_rows",
+                           [None, ShapeVal((l, m))])
+        interp.call_method(inst, "orth_rows", [ShapeVal((l, m))])
+        interp.call_method(inst, "iter_gemm_a", [ShapeVal((l, m)), a])
+    interp.call_method(inst, "qrcp_sampled", [ShapeVal((l, n)), k])
+    interp.call_method(inst, "take_columns", [a, tuple(range(k))])
+    interp.call_method(inst, "qr_selected", [ShapeVal((m, k))])
+    if n > k:
+        interp.call_method(inst, "solve_upper",
+                           [ShapeVal((k, k)), ShapeVal((k, n - k))])
+        interp.call_method(inst, "assemble_r",
+                           [ShapeVal((k, k)), ShapeVal((k, n - k))])
+    return interp.phase_totals(), interp.warnings
+
+
+def find_cost_function(table: SymbolTable,
+                       name: str) -> Optional[FunctionInfo]:
+    """Resolve a Figure 5 closed form, preferring a ``costs`` module."""
+    best = None
+    for mod in table.all_modules:
+        fn = mod.functions.get(name)
+        if fn is None:
+            continue
+        if mod.relpath.endswith("costs.py"):
+            return fn
+        if best is None:
+            best = fn
+    return best
+
+
+def eval_cost_flops(table: SymbolTable, fn: FunctionInfo,
+                    kwargs: Dict[str, object]) -> Optional[float]:
+    """Evaluate a cost function's ``flops`` at concrete dimensions by
+    interpreting its body (never by importing it — fixtures analyze
+    trees that are not importable)."""
+    interp = CostInterp(table)
+    env = interp.eval_function(fn, dict(kwargs))
+    flops = env.get("flops")
+    if isinstance(flops, (int, float)) and not isinstance(flops, bool):
+        return float(flops)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The project pass
+# ---------------------------------------------------------------------------
+
+class ShapeAnalysis:
+    """Runs the symbolic shape pass over a :class:`SymbolTable`.
+
+    Same engine contract as
+    :class:`repro.analysis.dataflow.ProjectAnalysis`: construct, call
+    :meth:`run`, read ``findings_by_file``; the per-file RS121/RS123/
+    RS124 shims in :mod:`repro.analysis.rules_shapes` replay the raw
+    findings through the noqa machinery.
+    """
+
+    def __init__(self, table: SymbolTable):
+        self.table = table
+        self.findings: List[RawFinding] = []
+        self._seen_keys: Set[Tuple] = set()
+
+    def run(self) -> "ShapeAnalysis":
+        for mod in self.table.all_modules:
+            for fn in mod.all_functions:
+                _ShapeFlow(self, mod, fn).analyze()
+        self._check_cost_drift()
+        self.findings.sort(key=lambda f: (f.relpath, f.line, f.rule, f.col))
+        return self
+
+    @property
+    def findings_by_file(self) -> Dict[str, List[RawFinding]]:
+        out: Dict[str, List[RawFinding]] = {}
+        for f in self.findings:
+            out.setdefault(f.relpath, []).append(f)
+        return out
+
+    def emit(self, rule: str, mod: ModuleInfo, node: ast.AST,
+             message: str, context: str) -> None:
+        raw = RawFinding(rule=rule, relpath=mod.relpath,
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0),
+                         message=message, context=context)
+        if raw.key() in self._seen_keys:
+            return
+        self._seen_keys.add(raw.key())
+        self.findings.append(raw)
+
+    # -- RS124 -------------------------------------------------------------
+    def _check_cost_drift(self) -> None:
+        candidates = find_executor_classes(self.table)
+        if not candidates:
+            return
+        cost_fns = {step[1]: find_cost_function(self.table, step[1])
+                    for step in COST_STEPS}
+        if not any(cost_fns.values()):
+            return
+        for mod, cls in candidates:
+            flagged: Set[str] = set()
+            for point in REF_POINTS:
+                totals, _warnings = static_phase_flops(
+                    self.table, mod, cls, point)
+                if not any(totals.values()):
+                    break  # a charging executor this is not
+                for phase, cost_name, arg_names, scale, anchor \
+                        in COST_STEPS:
+                    if phase in flagged:
+                        continue
+                    cost_fn = cost_fns.get(cost_name)
+                    charged = totals.get(phase)
+                    if cost_fn is None or charged is None:
+                        continue
+                    expected = eval_cost_flops(
+                        self.table, cost_fn,
+                        {name: point[name] for name in arg_names})
+                    if expected is None or expected <= 0:
+                        continue
+                    expected *= scale
+                    drift = abs(charged - expected) / expected
+                    if drift <= DRIFT_TOLERANCE:
+                        continue
+                    flagged.add(phase)
+                    anchor_fn = self.table.resolve_method(mod, cls, anchor)
+                    if anchor_fn is not None:
+                        anchor_mod, anchor_node = anchor_fn.owner, \
+                            anchor_fn.node
+                    else:
+                        # ClassInfo carries a lineno, which is all
+                        # emit() needs of an anchor.
+                        anchor_mod, anchor_node = mod, cls
+                    dims = ", ".join(f"{d}={point[d]}" for d in arg_names)
+                    self.emit(
+                        RULE_DRIFT, anchor_mod, anchor_node,
+                        f"phase '{phase}' of {cls.name} charges "
+                        f"{charged:.4g} flops at {dims} but the "
+                        f"Figure 5 closed form {cost_name} gives "
+                        f"{expected:.4g}"
+                        + (f" (x{scale:g} pass convention)"
+                           if scale != 1.0 else "")
+                        + f": {drift:.0%} drift beyond leading order",
+                        f"{cls.name}.{anchor}")

@@ -29,7 +29,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..analysis.annotations import residency
+from ..analysis.annotations import residency, shaped
 from ..backends import resolve_backend
 from ..config import ORTH_SCHEMES
 from ..errors import (ConfigurationError, ShapeError,
@@ -299,6 +299,7 @@ class NumpyExecutor:
 
     # -- operations -------------------------------------------------------
     @residency(returns="device")
+    @shaped(params={"rows": "l", "cols": "m"}, returns=("l", "m"))
     def prng_gaussian(self, rows: int, cols: int,
                       symbolic: bool = False) -> ArrayLike:
         """Generate the ``rows x cols`` Gaussian sampling matrix Omega
@@ -312,6 +313,8 @@ class NumpyExecutor:
         return self.backend.standard_normal(self.rng, (rows, cols))
 
     @residency(returns="device")
+    @shaped(params={"omega": ("l", "m"), "a": ("m", "n")},
+            returns=("l", "n"))
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Step 1 pruned Gaussian sampling ``B = Omega A``."""
         l, m = shape_of(omega)
@@ -320,6 +323,7 @@ class NumpyExecutor:
         return _mm(omega, a, self.backend)
 
     @residency(returns="device")
+    @shaped(params={"a": ("m", "n")})
     def sample_gemm_stacked(self, omegas: Sequence[ArrayLike],
                             a: ArrayLike) -> list:
         """Coalesced Step-1 sketch of a request batch:
@@ -383,6 +387,7 @@ class NumpyExecutor:
         return np.ascontiguousarray(parts) * np.sqrt(2.0 * d / l)
 
     @residency(returns="device")
+    @shaped(params={"b": ("l", "n"), "a": ("m", "n")}, returns=("l", "m"))
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Power-iteration product ``C = B A^T``  (line 7 of Fig. 2a)."""
         l, n = shape_of(b)
@@ -391,6 +396,7 @@ class NumpyExecutor:
         return _mm(b, a.T, self.backend)
 
     @residency(returns="device")
+    @shaped(params={"c": ("l", "m"), "a": ("m", "n")}, returns=("l", "n"))
     def iter_gemm_a(self, c: ArrayLike, a: ArrayLike) -> ArrayLike:
         """Power-iteration product ``B = C A``  (line 12 of Fig. 2a)."""
         l, m = shape_of(c)
@@ -399,6 +405,7 @@ class NumpyExecutor:
         return _mm(c, a, self.backend)
 
     @residency(returns="device")
+    @shaped(params={"b": ("l", "n")}, returns=("l", "n"))
     def orth_rows(self, b: ArrayLike, scheme: str = "cholqr2",
                   phase: str = "orth_iter") -> ArrayLike:
         """Orthonormalize the rows of a short-wide block; returns Q.
@@ -446,6 +453,7 @@ class NumpyExecutor:
         raise ConfigurationError(f"unhandled scheme {scheme!r}")
 
     @residency(returns="device")
+    @shaped(params={"v": ("l", "n")}, returns=("l", "n"))
     def block_orth_rows(self, q_prev: Optional[ArrayLike], v: ArrayLike,
                         reorth: bool = True,
                         phase: str = "orth_iter") -> ArrayLike:
@@ -463,6 +471,7 @@ class NumpyExecutor:
         w, _ = gram_schmidt.block_orth_rows(q_prev, v, reorthogonalize=reorth)
         return w
 
+    @shaped(params={"b": ("l", "n"), "k": "k"})
     def qrcp_sampled(self, b: ArrayLike, k: int) -> Tuple[ArrayLike,
                                                           ArrayLike,
                                                           np.ndarray]:
@@ -481,6 +490,7 @@ class NumpyExecutor:
         return res.q, res.r, res.perm
 
     @residency(returns="device")
+    @shaped(params={"a": ("m", "n")})
     def take_columns(self, a: ArrayLike, idx: Union[np.ndarray,
                                                     Sequence[int]]
                      ) -> ArrayLike:
@@ -489,6 +499,7 @@ class NumpyExecutor:
         self._t_copy(8 * m * len(idx), phase="other")
         return _take_columns(a, idx)
 
+    @shaped(params={"ap": ("m", "k")})
     def qr_selected(self, ap: ArrayLike, scheme: str = "cholqr2"
                     ) -> Tuple[ArrayLike, ArrayLike]:
         """Step 3: tall-skinny QR of the selected columns ``A P_{1:k}``.
@@ -517,6 +528,8 @@ class NumpyExecutor:
             f"qr_selected supports cholqr/cholqr2/householder/tsqr, "
             f"got {scheme!r}")
 
+    @shaped(params={"r11": ("k", "k"), "r12": ("k", "t")},
+            returns=("k", "t"))
     def solve_upper(self, r11: ArrayLike, r12: ArrayLike,
                     phase: str = "other") -> ArrayLike:
         """``T = R11^{-1} R12`` (line 9 of Fig. 2b), triangular solve."""
@@ -528,6 +541,7 @@ class NumpyExecutor:
         return solve_upper_triangular(np.asarray(r11), np.asarray(r12),
                                       backend=self.backend)
 
+    @shaped(params={"rbar": ("k", "k"), "t": ("k", "t")})
     def assemble_r(self, rbar: ArrayLike, t: ArrayLike,
                    phase: str = "other") -> ArrayLike:
         """``R = R_bar [I  T]`` (line 10 of Fig. 2b): a triangular
@@ -541,6 +555,7 @@ class NumpyExecutor:
         return np.hstack([rbar, self.backend.gemm(rbar, np.asarray(t))])
 
     @residency(returns="host")
+    @shaped(params={"b_new": ("l", "n"), "q_prev": ("p", "n")})
     def estimate_error(self, b_new: ArrayLike, q_prev: ArrayLike,
                        phase: str = "other") -> float:
         """Adaptive-scheme error estimate (line 15 of Fig. 3):
@@ -568,6 +583,7 @@ class NumpyExecutor:
         return _vstack(parts)
 
     @residency(returns="device")
+    @shaped(params={"x": ("m", "k"), "y": ("k", "n")}, returns=("m", "n"))
     def gemm(self, x: ArrayLike, y: ArrayLike,
              phase: str = "other") -> ArrayLike:
         """General timed product ``X Y`` for post-processing steps that

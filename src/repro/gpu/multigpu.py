@@ -49,7 +49,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..analysis.annotations import residency
+from ..analysis.annotations import residency, shaped
 from ..errors import ConfigurationError, ShapeError
 from .device import (ArrayLike, GPUExecutor, SimulatedGPU, SymArray,
                      is_symbolic, shape_of)
@@ -271,6 +271,7 @@ class MultiGPUExecutor(GPUExecutor):
         return self.backend.standard_normal(self.rng, (rows, cols))
 
     @residency(returns="host")
+    @shaped(params={"omega": ("l", "m"), "a": ("m", "n")}, returns=("l", "n"))
     def sample_gemm(self, omega: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = Omega_(i) A_(i)`` locally, then CPU accumulation;
         the chunked gather overlaps the next chunk's GEMM.
@@ -344,6 +345,7 @@ class MultiGPUExecutor(GPUExecutor):
                                 reads=[src], writes=[f"{src}@g{d}"])
 
     @residency(returns="device")
+    @shaped(params={"b": ("l", "n"), "a": ("m", "n")}, returns=("l", "m"))
     def iter_gemm_at(self, b: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``C_(i) = B A_(i)^T`` locally; C stays distributed."""
         from .device import _mm, _words_bytes
@@ -363,6 +365,7 @@ class MultiGPUExecutor(GPUExecutor):
         return _mm(b, a.T, self.backend)
 
     @residency(returns="host")
+    @shaped(params={"c_mat": ("l", "m"), "a": ("m", "n")}, returns=("l", "n"))
     def iter_gemm_a(self, c_mat: ArrayLike, a: ArrayLike) -> ArrayLike:
         """``B_(i) = C_(i) A_(i)`` locally, then CPU accumulation.
 

@@ -26,6 +26,15 @@ exact count for CholQR of an ``l x n`` and an ``l x m`` block per
 iteration is ``O(l^2 (m + n) q)`` — we expose exact constants, so the
 table's order relations (everything dominated by the GEMM term) are
 preserved either way.
+
+These closed forms are load-bearing: analyzer rule RS124
+(:mod:`repro.analysis.shapes`) statically interprets each executor's
+charge hooks over the Figure 2b op sequence and fails CI if the
+per-phase totals drift more than 5% from these functions at reference
+dimensions, and ``repro-bench analyze --audit-costs`` adds a third
+column from an instrumented run (see ``docs/static_analysis.md``).
+A deliberate model change must therefore update executor and closed
+form together — which is the point.
 """
 
 from __future__ import annotations

